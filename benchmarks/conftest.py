@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite.
+
+One :class:`~repro.experiments.common.ExperimentContext` is shared by every
+benchmark so engine runs are executed once and reused (Figures 4, 5, 6 and
+the overhead study all read the same runs, as in the paper).
+"""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext(seed=0, fast=True)
+
+
+def run_once(benchmark, fn, *args):
+    """Benchmark an experiment with a single timed round.
+
+    Experiments are minutes-scale simulations, not microbenchmarks; one
+    round gives the regeneration cost without multiplying the suite's
+    runtime.
+    """
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1, warmup_rounds=0)

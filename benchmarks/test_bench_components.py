@@ -1,0 +1,125 @@
+"""Micro-benchmarks of the performance-critical library components.
+
+Unlike the figure/table benchmarks (single-shot experiment regenerations),
+these run multiple rounds and track the hot paths a downstream user would
+care about: the engine's simulation throughput, Algorithm 1's planning
+latency, one Equation-2 prediction, and model training.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import SpGEMMApp
+from repro.apps.codesamples import generate_corpus
+from repro.baselines import MemoryOptimizerPolicy, PMOnlyPolicy
+from repro.common import make_rng
+from repro.core.correlation import generate_training_data
+from repro.core.model import TaskModelInputs
+from repro.core.planner import greedy_plan, optimal_quotas
+from repro.ml import GradientBoostedRegressor
+from repro.sim import Engine, MachineModel, optane_hm_config
+from repro.sim.counters import collect_pmcs
+
+HM = optane_hm_config()
+MODEL = MachineModel()
+
+
+@pytest.fixture(scope="module")
+def small_app():
+    app = SpGEMMApp.small(seed=0)
+    return app, app.build_workload(seed=0)
+
+
+@pytest.fixture(scope="module")
+def planner_inputs(ctx):
+    machine, hm = MODEL, HM
+    rng = make_rng(0)
+    tasks = []
+    task_bytes = {}
+    for i, sample in enumerate(generate_corpus(12, seed=3)):
+        fp = sample.footprint()
+        t_dram, t_pm = machine.endpoint_times(fp, hm)
+        tasks.append(
+            TaskModelInputs(
+                task_id=f"t{i}",
+                t_pm_only=t_pm,
+                t_dram_only=t_dram,
+                total_accesses=fp.total_accesses,
+                pmcs=collect_pmcs(fp, machine, hm, rng=rng),
+            )
+        )
+        task_bytes[f"t{i}"] = 32 << 20
+    return ctx.system.performance_model, tasks, task_bytes
+
+
+def test_bench_engine_pm_only(benchmark, small_app):
+    """Simulation throughput: one small SpGEMM run, no migration."""
+    app, wl = small_app
+    eng = Engine(MODEL, HM)
+    result = benchmark(lambda: eng.run(wl, PMOnlyPolicy(), seed=1))
+    assert result.total_time_s > 0
+
+
+def test_bench_engine_with_daemon(benchmark, small_app):
+    """Simulation throughput with the sampling/migration daemon active."""
+    app, wl = small_app
+    eng = Engine(MODEL, HM)
+    result = benchmark(lambda: eng.run(wl, MemoryOptimizerPolicy(seed=7), seed=1))
+    assert result.pages_migrated > 0
+
+
+def test_bench_greedy_plan(benchmark, planner_inputs):
+    """Algorithm 1 planning latency for a 12-task region."""
+    model, tasks, task_bytes = planner_inputs
+    plan = benchmark(
+        lambda: greedy_plan(tasks, model, HM.dram.capacity_bytes, task_bytes)
+    )
+    assert plan.dram_pages_used <= HM.dram.capacity_bytes // 4096
+
+
+def test_bench_optimal_plan(benchmark, planner_inputs):
+    """The makespan-optimal oracle (bisection) for the same region."""
+    model, tasks, task_bytes = planner_inputs
+    plan = benchmark(
+        lambda: optimal_quotas(tasks, model, HM.dram.capacity_bytes, task_bytes)
+    )
+    assert plan.predicted_makespan_s > 0
+
+
+def test_bench_single_prediction(benchmark, planner_inputs):
+    """One Equation-2 prediction (the paper reports 0.031 ms)."""
+    model, tasks, _ = planner_inputs
+    value = benchmark(lambda: model.predict_ratio(tasks[0], 0.45))
+    assert value > 0
+
+
+def test_bench_prediction_grid(benchmark, planner_inputs):
+    """A vectorised 21-point ratio grid (what the planner actually calls)."""
+    model, tasks, _ = planner_inputs
+    levels = np.linspace(0, 1, 21)
+    grid = benchmark(lambda: model.ratio_grid(tasks[0], levels))
+    assert len(grid) == 21
+
+
+def test_bench_training_data_generation(benchmark):
+    """Offline step 1: training-data generation for 20 code regions."""
+    samples = generate_corpus(20, seed=1)
+    data = benchmark.pedantic(
+        lambda: generate_training_data(MODEL, HM, samples, placements_per_sample=6, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert data.X.shape[0] == 120
+
+
+def test_bench_gbr_fit(benchmark):
+    """Offline step 3: fitting the selected GBR correlation model."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(600, 21))
+    y = np.sin(X[:, 0]) + X[:, -1]
+    model = benchmark.pedantic(
+        lambda: GradientBoostedRegressor(n_estimators=100, rng=1).fit(X, y),
+        rounds=1,
+        iterations=1,
+    )
+    assert model.trees_

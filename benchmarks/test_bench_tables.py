@@ -1,0 +1,46 @@
+"""Benchmarks regenerating the paper's tables.
+
+* Table 1 -- static pattern classification of all five applications;
+* Table 2 -- the workload registry (builds every workload);
+* Table 3 -- the six-model comparison for f(.);
+* Table 4 -- whole-pipeline prediction accuracy vs the regression baseline.
+
+Each benchmark prints the same rows the paper reports and asserts the
+reproduction's shape requirements.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table1, table2, table3, table4
+
+
+def test_bench_table1(benchmark, ctx):
+    result = run_once(benchmark, table1.run, ctx)
+    assert result["detected"] == result["paper"]
+
+
+def test_bench_table2(benchmark, ctx):
+    rows = run_once(benchmark, table2.run, ctx)
+    assert len(rows) == 5
+    # footprints are the paper's GB figures at MB scale
+    for row in rows.values():
+        assert row["workload_mb"] > 100
+
+
+def test_bench_table3(benchmark, ctx):
+    result = run_once(benchmark, table3.run, ctx)
+    scores = result["reports"]
+    # every model learns something; the tree ensembles lead (paper: GBR
+    # best at 94.1%, RFR 89.2%; our RFR/GBR may swap within a point or two)
+    assert all(r2 > 0.5 for r2 in scores.values())
+    assert result["best"] in ("GBR", "RFR")
+    assert scores["GBR"] > 0.85
+    assert scores["KNR"] < scores["GBR"]  # KNR trails, as in the paper
+
+
+def test_bench_table4(benchmark, ctx):
+    result = run_once(benchmark, table4.run, ctx)
+    for app, scores in result.items():
+        # the performance model beats size-ratio regression on every app
+        assert scores["ours"] > scores["baseline"], app
+        assert scores["ours"] > 0.7, app

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: run Merchandiser against the baselines on one application.
+
+This walks the full pipeline end to end:
+
+1. train Merchandiser's correlation function offline (Section 5.1);
+2. build a task-parallel application workload (SpGEMM, Figure 1.b);
+3. register its data objects via the ``lb_hm_config`` analogue;
+4. run the workload on the simulated DRAM+PM node under PM-only,
+   Memory Mode, MemoryOptimizer, and Merchandiser;
+5. report total time and load balance (the paper's Figures 4 and 5).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Engine, MachineModel, optane_hm_config
+from repro.apps import SpGEMMApp
+from repro.baselines import MemoryModePolicy, MemoryOptimizerPolicy, PMOnlyPolicy
+from repro.core import Merchandiser
+
+
+def acv(values):
+    arr = np.asarray(list(values))
+    return arr.std() / arr.mean()
+
+
+def main() -> None:
+    # -- offline, once per memory system (Section 5.3) -------------------
+    print("training Merchandiser's correlation function (offline, once)...")
+    system = Merchandiser.offline_setup(
+        n_samples=80, placements_per_sample=8, select_events=False, seed=0
+    )
+
+    # -- application setup ------------------------------------------------
+    app = SpGEMMApp.small(seed=0)
+    workload = app.build_workload(seed=0)
+    binding = app.binding(workload)  # the LB_HM_config registration
+    print(
+        f"\n{app.name}: {len(workload.regions)} barrier regions, "
+        f"{workload.total_footprint_bytes / 2**20:.0f} MiB across "
+        f"{len(workload.objects)} data objects, {app.n_tasks} tasks"
+    )
+    patterns = app.classify()
+    print("static analysis found patterns:",
+          {k: v.value for k, v in sorted(patterns.per_object.items())[:4]}, "...")
+
+    # -- run under each placement system ----------------------------------
+    engine = Engine(MachineModel(), optane_hm_config())
+    policies = {
+        "PM-only": PMOnlyPolicy(),
+        "Memory Mode": MemoryModePolicy(),
+        "MemoryOptimizer": MemoryOptimizerPolicy(seed=7),
+        "Merchandiser": system.policy(binding, seed=5),
+    }
+    results = {}
+    print(f"\n{'policy':16s} {'time (s)':>10s} {'A.C.V':>7s} {'migrated':>9s}")
+    for name, policy in policies.items():
+        res = engine.run(workload, policy, seed=1)
+        results[name] = res
+        print(
+            f"{name:16s} {res.total_time_s:10.2f} "
+            f"{acv(res.task_busy_times().values()):7.3f} "
+            f"{res.pages_migrated:9d}"
+        )
+
+    pm = results["PM-only"].total_time_s
+    merch = results["Merchandiser"].total_time_s
+    print(f"\nMerchandiser speedup over PM-only: {pm / merch:.2f}x")
+    print("(the paper's full-scale comparison: python -m repro.experiments.runner fig4)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim so editable installs work without the `wheel` package
+(this environment is offline).  All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""Reproduction of Merchandiser (PPoPP 2023).
+
+Merchandiser is a load-balance-aware data-placement system for task-parallel
+HPC applications on heterogeneous memory (DRAM + Optane PM).  This package
+reimplements the full system -- task-semantic profiling, input-aware memory
+access estimation, a learned performance-correlation model, and the greedy
+load-balancing migration planner -- on top of a simulated heterogeneous-memory
+node (see DESIGN.md for the substitution map).
+"""
+
+from repro.common import AccessPattern, PAGE_SIZE, CACHE_LINE, make_rng
+from repro.sim import (
+    Engine,
+    EngineConfig,
+    HMConfig,
+    MachineModel,
+    MachineSpec,
+    PageTable,
+    PlacementPolicy,
+    RunResult,
+    TierSpec,
+    optane_hm_config,
+)
+from repro.tasks import (
+    DataObject,
+    Footprint,
+    KernelProfile,
+    MPIProgram,
+    ObjectAccess,
+    OpenMPProgram,
+    ParallelRegion,
+    TaskInstanceSpec,
+    Workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessPattern",
+    "PAGE_SIZE",
+    "CACHE_LINE",
+    "make_rng",
+    "TierSpec",
+    "HMConfig",
+    "optane_hm_config",
+    "MachineSpec",
+    "MachineModel",
+    "PageTable",
+    "Engine",
+    "EngineConfig",
+    "PlacementPolicy",
+    "RunResult",
+    "DataObject",
+    "ObjectAccess",
+    "KernelProfile",
+    "Footprint",
+    "TaskInstanceSpec",
+    "ParallelRegion",
+    "Workload",
+    "MPIProgram",
+    "OpenMPProgram",
+    "Merchandiser",
+]
+
+
+def __getattr__(name):
+    # Lazy import: repro.core pulls in the ML stack, which simulator-only
+    # users do not need at import time.
+    if name == "Merchandiser":
+        from repro.core import Merchandiser
+
+        return Merchandiser
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

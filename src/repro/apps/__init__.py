@@ -1,0 +1,32 @@
+"""The five evaluation applications (Table 2) plus the training corpus.
+
+Each application provides a small *real* reference kernel (tested against
+scipy/networkx/numpy), a task-parallel workload at simulated scale whose
+footprints are calibrated from that kernel's structure, and the
+``LB_HM_config`` binding Merchandiser consumes.
+"""
+
+from repro.apps.base import AppConfig, Application
+from repro.apps.codesamples import CodeSample, generate_corpus
+from repro.apps.spgemm import SpGEMMApp
+from repro.apps.bfs import BFSApp
+from repro.apps.warpx import WarpXApp
+from repro.apps.dmrg import DMRGApp
+from repro.apps.nwchem_tc import NWChemTCApp, TC_PHASES
+
+#: The evaluation suite, in the paper's Table 2 order.
+ALL_APPS = (SpGEMMApp, WarpXApp, BFSApp, DMRGApp, NWChemTCApp)
+
+__all__ = [
+    "AppConfig",
+    "Application",
+    "CodeSample",
+    "generate_corpus",
+    "SpGEMMApp",
+    "BFSApp",
+    "WarpXApp",
+    "DMRGApp",
+    "NWChemTCApp",
+    "TC_PHASES",
+    "ALL_APPS",
+]

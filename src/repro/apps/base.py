@@ -1,0 +1,163 @@
+"""Application abstraction shared by the five evaluation workloads.
+
+Every application provides three honest layers:
+
+1. a **reference kernel** -- a small, runnable numpy implementation of the
+   actual computation (SpGEMM, BFS, PIC step, ...) used by tests and
+   examples, and whose *structure* (nonzero distributions, frontier sizes,
+   particle densities) calibrates the workload;
+2. a **workload** -- the task-parallel structure at simulated scale
+   (objects, footprints, barrier-separated regions), built by extrapolating
+   the reference structure to the paper's (scaled-down) memory footprints;
+3. a **binding** -- the ``lb_hm_config`` registration + kernel IR that
+   Merchandiser's static analysis consumes (Table 1's input).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.common import AccessPattern, MIB, make_rng
+from repro.core.api import lb_hm_config
+from repro.core.patterns import KernelPatterns, Loop, classify_kernel
+from repro.core.runtime import ApplicationBinding
+from repro.sim.cache import OnChipCacheModel
+from repro.tasks.task import DataObject, Workload
+
+__all__ = ["AppConfig", "Application"]
+
+
+@dataclass(frozen=True)
+class AppConfig:
+    """Table 2 row: problem scale and task configuration."""
+
+    n_tasks: int
+    #: target total memory consumption at simulated scale, bytes
+    footprint_bytes: int
+    #: outer-loop iterations (task instances per task)
+    iterations: int
+    mpi_processes: int
+    openmp_threads: int
+    #: reference-kernel problem size (small; structure calibration only)
+    reference_scale: int
+
+
+class Application(abc.ABC):
+    """Base class for the five evaluation applications."""
+
+    #: paper's Table 2 name
+    name: str = "app"
+    #: paper memory consumption (GB), for Table 2 output
+    paper_memory_gb: float = 0.0
+    #: paper problem description, for Table 2 output
+    paper_problem: str = ""
+
+    def __init__(self, config: AppConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+        self._cache_model = OnChipCacheModel()
+        #: per (task, region) effective object sizes, recorded while the
+        #: workload is built; what the LB_HM_config size pointers carry
+        self._instance_sizes: dict[tuple[str, str], dict[str, int]] = {}
+
+    # -- required per app ------------------------------------------------
+    @abc.abstractmethod
+    def build_workload(self, seed=None) -> Workload:
+        """The task-parallel workload at simulated scale."""
+
+    @abc.abstractmethod
+    def task_kernels(self) -> dict[str, list[Loop]]:
+        """Loop-nest IR of each task's program (for static analysis)."""
+
+    @abc.abstractmethod
+    def managed_objects(self, workload: Workload) -> dict[str, list[DataObject]]:
+        """Per task, the data objects passed to ``LB_HM_config``."""
+
+    def input_dependent_objects(self) -> dict[str, tuple[str, ...]]:
+        """Per task, objects whose pattern shape is input-dependent."""
+        return {}
+
+    def sparta_input_objects(self) -> list[str] | None:
+        """Objects the Sparta baseline may stage (contraction inputs).
+
+        ``None`` means Sparta may stage anything; apps with dynamically
+        allocated outputs restrict this to the inputs.
+        """
+        return None
+
+    # -- provided ----------------------------------------------------------
+    @classmethod
+    def small(cls, seed: int = 0) -> "Application":
+        """Test-sized instance (seconds to simulate)."""
+        return cls(cls.small_config(), seed=seed)
+
+    @classmethod
+    def paper_scale(cls, seed: int = 0) -> "Application":
+        """The experiment instance (paper footprint / 1024)."""
+        return cls(cls.paper_config(), seed=seed)
+
+    @classmethod
+    @abc.abstractmethod
+    def small_config(cls) -> AppConfig: ...
+
+    @classmethod
+    @abc.abstractmethod
+    def paper_config(cls) -> AppConfig: ...
+
+    @property
+    def n_tasks(self) -> int:
+        return self.config.n_tasks
+
+    def classify(self) -> KernelPatterns:
+        """Run the Spindle-substitute over all task kernels (Table 1)."""
+        all_loops: list[Loop] = []
+        for loops in self.task_kernels().values():
+            all_loops.extend(loops)
+        return classify_kernel(all_loops)
+
+    def binding(self, workload: Workload) -> ApplicationBinding:
+        """Build the Merchandiser registration for this application."""
+        kernels = self.task_kernels()
+        input_dep = self.input_dependent_objects()
+        descriptors = {}
+        for task_id, objects in self.managed_objects(workload).items():
+            descriptors[task_id] = lb_hm_config(
+                objects,
+                kernels[task_id],
+                input_dependent=input_dep.get(task_id, ()),
+            )
+        return ApplicationBinding(
+            descriptors=descriptors,
+            instance_object_sizes=dict(self._instance_sizes),
+        )
+
+    # -- footprint helpers -------------------------------------------------
+    def mem_accesses(
+        self,
+        pattern: AccessPattern,
+        logical_accesses: int,
+        element_size: int,
+        working_set_bytes: int,
+        stride: int = 1,
+    ) -> int:
+        """Main-memory accesses after on-chip cache filtering."""
+        return self._cache_model.mem_accesses(
+            pattern, logical_accesses, element_size, working_set_bytes, stride
+        )
+
+    def table2_row(self) -> dict[str, object]:
+        cfg = self.config
+        return {
+            "application": self.name,
+            "problem": self.paper_problem,
+            "paper_memory_gb": self.paper_memory_gb,
+            "simulated_memory_mb": cfg.footprint_bytes / MIB,
+            "mpi_processes": cfg.mpi_processes,
+            "openmp_threads": cfg.openmp_threads,
+            "tasks": cfg.n_tasks,
+            "iterations": cfg.iterations,
+        }

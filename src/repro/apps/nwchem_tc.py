@@ -1,0 +1,265 @@
+"""NWChem-TC: the tensor-contraction component of NWChem.
+
+Table 2: Cytosine tensor, dims 400*400*58*58, 308.1 GB, 24 OpenMP threads.
+The contraction is tiled; each thread owns a set of tiles, and every
+contraction runs NWChem-TC's five execution phases (Figure 3): Input
+Processing, Index Search, Accumulation, Writeback, and Output Sorting --
+each a barrier-separated region.  The "inequable tensors" give threads
+uneven tile volumes: intrinsic imbalance, like SpGEMM and BFS.
+
+Layers:
+
+* :func:`contract_tiles` -- a real tiled tensor contraction
+  ``C[a,i] = sum_k A[a,k] * B[k,i]`` with an index-permutation (sorting)
+  step, validated against ``numpy.einsum`` in the tests;
+* :class:`NWChemTCApp` -- workload: per-thread tile volumes from
+  :func:`repro.apps.synth.uneven_partition`; the five phases get footprints
+  matching Figure 3's sensitivity profile (streaming phases respond
+  strongly to DRAM ratio, search phases weakly);
+* kernel IR: stream over tiles, random through the sparse index map --
+  Table 1's "Stream + Random".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import AccessPattern, MIB, make_rng
+from repro.apps.base import AppConfig, Application
+from repro.apps.synth import uneven_partition
+from repro.core.patterns import Affine, ArrayRef, Indirect, Loop
+from repro.tasks.task import (
+    DataObject,
+    Footprint,
+    KernelProfile,
+    ObjectAccess,
+    Workload,
+)
+from repro.tasks.frontends import OpenMPProgram
+
+__all__ = ["contract_tiles", "NWChemTCApp", "TC_PHASES"]
+
+#: NWChem-TC's five execution phases, in order (Figure 3).
+TC_PHASES: tuple[str, ...] = (
+    "input_processing",
+    "index_search",
+    "accumulation",
+    "writeback",
+    "output_sorting",
+)
+
+
+def contract_tiles(
+    A: np.ndarray, B: np.ndarray, tile: int
+) -> np.ndarray:
+    """Tiled matrix contraction ``C = A @ B`` with per-tile accumulate.
+
+    The reference kernel behind the Accumulation phase; tests check it
+    against ``numpy.einsum`` exactly.
+    """
+    if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
+        raise ValueError("incompatible operands")
+    if tile < 1:
+        raise ValueError("tile must be positive")
+    m, k = A.shape
+    _, n = B.shape
+    C = np.zeros((m, n))
+    for i0 in range(0, m, tile):
+        for j0 in range(0, n, tile):
+            acc = np.zeros((min(tile, m - i0), min(tile, n - j0)))
+            for k0 in range(0, k, tile):
+                acc += A[i0 : i0 + tile, k0 : k0 + tile] @ B[k0 : k0 + tile, j0 : j0 + tile]
+            C[i0 : i0 + tile, j0 : j0 + tile] = acc
+    return C
+
+
+#: phase -> (traffic weight, random fraction, write fraction, intensity)
+#: chosen to reproduce Figure 3's sensitivity ordering: Writeback and Input
+#: Processing are streaming and respond most to DRAM ratio; Index Search is
+#: latency-bound pointer chasing and responds least.
+_PHASE_PARAMS: dict[str, tuple[float, float, float, float]] = {
+    "input_processing": (0.22, 0.05, 0.25, 110.0),
+    "index_search": (0.08, 0.95, 0.02, 500.0),
+    "accumulation": (0.40, 0.35, 0.30, 150.0),
+    "writeback": (0.18, 0.02, 0.85, 6.0),
+    "output_sorting": (0.12, 0.60, 0.45, 120.0),
+}
+
+
+class NWChemTCApp(Application):
+    """Task-parallel tensor contraction at simulated scale."""
+
+    name = "NWChem-TC"
+    paper_memory_gb = 308.1
+    paper_problem = "Cytosine tensor with dims of 400*400*58*58"
+
+    @classmethod
+    def small_config(cls) -> AppConfig:
+        return AppConfig(
+            n_tasks=4,
+            footprint_bytes=96 * MIB,
+            iterations=2,
+            mpi_processes=1,
+            openmp_threads=4,
+            reference_scale=64,
+        )
+
+    @classmethod
+    def paper_config(cls) -> AppConfig:
+        return AppConfig(
+            n_tasks=24,
+            footprint_bytes=int(308.1 * MIB),
+            iterations=4,
+            mpi_processes=1,
+            openmp_threads=24,
+            reference_scale=96,
+        )
+
+    # ------------------------------------------------------------------
+    def tile_shares(self, seed=None) -> np.ndarray:
+        """Uneven per-thread tile volumes ("inequable tensors")."""
+        seed = self.seed if seed is None else seed
+        shares = uneven_partition(10_000, self.n_tasks, skew=0.6, seed=seed)
+        shares = shares / shares.sum()
+        # temper toward uniform: tile volumes are "inequable", not absurd
+        shares = 0.85 / self.n_tasks + 0.15 * shares
+        return shares / shares.sum()
+
+    def phase_footprint(
+        self,
+        phase: str,
+        task_index: int,
+        tile_bytes: int,
+        index_bytes: int,
+        scale: float = 1.0,
+        density: float = 1.0,
+    ) -> Footprint:
+        """Footprint of one phase for one task (used by Figure 3 too)."""
+        if phase not in _PHASE_PARAMS:
+            raise KeyError(f"unknown phase {phase!r}")
+        weight, rnd_frac, w_frac, intensity = _PHASE_PARAMS[phase]
+        t = task_index
+        logical = max(int(weight * scale * tile_bytes / 8), 128)
+        n_rand = self.mem_accesses(
+            AccessPattern.RANDOM, int(logical * rnd_frac * density) + 1, 8, index_bytes
+        )
+        n_stream = self.mem_accesses(
+            AccessPattern.STREAM, int(logical * (1.0 - rnd_frac)) + 1, 8, tile_bytes
+        )
+        accesses = []
+        if n_stream:
+            w = int(n_stream * w_frac)
+            accesses.append(
+                ObjectAccess(
+                    f"tiles{t}", AccessPattern.STREAM, reads=n_stream - w, writes=w
+                )
+            )
+        if n_rand:
+            w = int(n_rand * w_frac * 0.5)
+            accesses.append(
+                ObjectAccess(
+                    "index_map", AccessPattern.RANDOM, reads=n_rand - w, writes=w
+                )
+            )
+        total = sum(a.total for a in accesses)
+        profile = KernelProfile(
+            branch_rate=0.10 if rnd_frac > 0.5 else 0.05,
+            branch_misp_rate=0.05 if rnd_frac > 0.5 else 0.015,
+            vector_fraction=0.15 if rnd_frac > 0.5 else 0.6,
+            ilp=1.6 if rnd_frac > 0.5 else 2.6,
+        )
+        return Footprint(
+            accesses=tuple(accesses),
+            instructions=max(int(total * intensity), 1000),
+            profile=profile,
+        )
+
+    # ------------------------------------------------------------------
+    def build_workload(self, seed=None) -> Workload:
+        seed = self.seed if seed is None else seed
+        rng = make_rng(seed)
+        cfg = self.config
+        shares = self.tile_shares(seed)
+
+        prog = OpenMPProgram(self.name, cfg.n_tasks)
+        budget = cfg.footprint_bytes
+        index_bytes = int(0.15 * budget)
+        tile_bytes = (0.85 * budget * shares).astype(np.int64)
+        prog.declare_object(
+            DataObject(
+                "index_map", size_bytes=index_bytes, owner=None,
+                hotness="zipf", zipf_s=0.7,
+            )
+        )
+        for t in range(cfg.n_tasks):
+            # tile access locality is "inequable" across threads
+            prog.declare_object(
+                DataObject(
+                    f"tiles{t}",
+                    size_bytes=max(int(tile_bytes[t]), MIB),
+                    owner=prog.task_id(t),
+                    hotness="zipf",
+                    zipf_s=float(rng.uniform(0.1, 0.5)),
+                )
+            )
+
+        for it in range(cfg.iterations):
+            scale = float(rng.uniform(0.85, 1.2)) if it > 0 else 1.0
+            # tensor sparsity structure drifts: random index traffic is
+            # input-dependent and scales non-proportionally with tile size
+            density = float(rng.uniform(0.75, 1.35)) if it > 0 else 1.0
+            for phase in TC_PHASES:
+                fps = []
+                vecs = []
+                region_name = f"tc{it}.{phase}"
+                for t in range(cfg.n_tasks):
+                    tb = max(int(tile_bytes[t]), MIB)
+                    fps.append(
+                        self.phase_footprint(
+                            phase, t, tb, index_bytes, scale, density
+                        )
+                    )
+                    self._instance_sizes[(prog.task_id(t), region_name)] = {
+                        f"tiles{t}": max(int(tb * scale), 1),
+                        "index_map": max(int(index_bytes * scale), 1),
+                    }
+                    vecs.append((tb * scale, index_bytes * scale))
+                prog.parallel_region(region_name, fps, input_vectors=vecs, kind=phase)
+        return prog.build()
+
+    # ------------------------------------------------------------------
+    def task_kernels(self) -> dict[str, list[Loop]]:
+        kernels = {}
+        for t in range(self.n_tasks):
+            tid = f"thread{t}"
+            contraction = Loop(
+                "a",
+                (
+                    Loop(
+                        "k",
+                        (
+                            ArrayRef(f"tiles{t}", Affine("k")),
+                            ArrayRef(
+                                "index_map",
+                                Indirect(f"tiles{t}", Affine("k")),
+                            ),
+                            ArrayRef(f"tiles{t}", Affine("a"), is_write=True),
+                        ),
+                    ),
+                ),
+            )
+            kernels[tid] = [contraction]
+        return kernels
+
+    def managed_objects(self, workload: Workload) -> dict[str, list[DataObject]]:
+        return {
+            f"thread{t}": [
+                workload.object(f"tiles{t}"),
+                workload.object("index_map"),
+            ]
+            for t in range(self.n_tasks)
+        }
+
+    def input_dependent_objects(self) -> dict[str, tuple[str, ...]]:
+        # the sparse index map's access shape depends on the input tensor
+        return {f"thread{t}": ("index_map",) for t in range(self.n_tasks)}

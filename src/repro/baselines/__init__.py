@@ -1,0 +1,25 @@
+"""Data-placement baselines the paper compares against (Section 7).
+
+* :class:`PMOnlyPolicy` / :class:`DRAMOnlyPolicy` -- static single-tier
+  placements (the normalisation baseline and the performance upper bound);
+* :class:`MemoryModePolicy` -- Optane's hardware Memory Mode: DRAM as a
+  direct-mapped, task-agnostic page cache;
+* :class:`MemoryOptimizerPolicy` -- Intel MemoryOptimizer: periodic random
+  page sampling, hot-page promotion, cold-page demotion;
+* :class:`SpartaPolicy` / :class:`WarpXPMPolicy` -- the two
+  application-specific comparators of Section 7.1.
+"""
+
+from repro.baselines.static import DRAMOnlyPolicy, PMOnlyPolicy
+from repro.baselines.memorymode import MemoryModePolicy
+from repro.baselines.memoptimizer import MemoryOptimizerPolicy
+from repro.baselines.appspecific import SpartaPolicy, WarpXPMPolicy
+
+__all__ = [
+    "PMOnlyPolicy",
+    "DRAMOnlyPolicy",
+    "MemoryModePolicy",
+    "MemoryOptimizerPolicy",
+    "SpartaPolicy",
+    "WarpXPMPolicy",
+]

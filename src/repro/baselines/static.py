@@ -1,0 +1,30 @@
+"""Static single-tier placements."""
+
+from __future__ import annotations
+
+from repro.sim.engine import EngineContext, PlacementPolicy
+
+__all__ = ["PMOnlyPolicy", "DRAMOnlyPolicy"]
+
+
+class PMOnlyPolicy(PlacementPolicy):
+    """Everything stays in PM -- the paper's normalisation baseline."""
+
+    name = "pm-only"
+
+    def on_workload_start(self, ctx: EngineContext) -> None:
+        for obj in ctx.page_table:
+            obj.set_residency(0.0)
+
+
+class DRAMOnlyPolicy(PlacementPolicy):
+    """Everything in DRAM -- the performance upper bound.
+
+    Only valid when the workload's footprint fits in DRAM; raises otherwise
+    (on real hardware the allocation would simply fail).
+    """
+
+    name = "dram-only"
+
+    def on_workload_start(self, ctx: EngineContext) -> None:
+        ctx.page_table.place_all(1.0)

@@ -1,0 +1,95 @@
+"""Shared low-level vocabulary for the Merchandiser reproduction.
+
+This module defines the handful of concepts that every layer of the stack
+(simulator, task runtime, profilers, Merchandiser core) needs to agree on:
+the memory-access-pattern taxonomy of the paper (Section 4), byte-level
+constants, and seeding helpers so that every stochastic component is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "AccessPattern",
+    "PAGE_SIZE",
+    "CACHE_LINE",
+    "KIB",
+    "MIB",
+    "GIB",
+    "make_rng",
+    "zipf_weights",
+]
+
+#: Size of a memory page in bytes (4 KiB, matching Linux / the paper).
+PAGE_SIZE: int = 4096
+
+#: Size of a CPU cache line in bytes (Section 4 uses 64 B in its alpha example).
+CACHE_LINE: int = 64
+
+KIB: int = 1024
+MIB: int = 1024 * 1024
+GIB: int = 1024 * 1024 * 1024
+
+
+class AccessPattern(str, enum.Enum):
+    """The four object-level memory-access patterns of the paper (Section 4).
+
+    * ``STREAM``  -- ``A[i] = B[i] + C[i]``; includes delta, reduction and
+      transpose forms.
+    * ``STRIDED`` -- ``A[i*stride] = B[i*stride]`` with a compile-time-known
+      constant stride.
+    * ``STENCIL`` -- ``A[i] = A[i-1] + A[i+1]``; sequential walk with
+      loop-carried neighbour reuse (5/7/9-point stencils and friends).
+    * ``RANDOM``  -- indirect addressing: pointer chase, gather
+      (``A[i] = B[C[i]]``) and scatter (``A[B[i]] = C[i]``).
+
+    Unknown patterns are treated as ``RANDOM`` (Section 4, "Handling unknown
+    patterns").
+    """
+
+    STREAM = "stream"
+    STRIDED = "strided"
+    STENCIL = "stencil"
+    RANDOM = "random"
+
+    @property
+    def is_regular(self) -> bool:
+        """Whether the hardware prefetcher can follow this pattern."""
+        return self is not AccessPattern.RANDOM
+
+
+SeedLike = Union[int, None, np.random.Generator]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed or pass one through.
+
+    Every stochastic component in the library takes a ``seed`` argument and
+    funnels it through here, so a single integer makes an entire experiment
+    reproducible.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def zipf_weights(n: int, s: float = 1.1, rng: SeedLike = None) -> np.ndarray:
+    """Normalised Zipf-like popularity weights over ``n`` items.
+
+    Used to model the skewed page-hotness distribution of RANDOM-pattern
+    objects: a few pages absorb most indirect accesses.  When ``rng`` is
+    given the rank order is shuffled so hot pages are scattered through the
+    address range (as they are in a real heap) rather than sorted.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    w = ranks ** (-s)
+    if rng is not None:
+        make_rng(rng).shuffle(w)
+    return w / w.sum()

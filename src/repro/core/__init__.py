@@ -1,0 +1,63 @@
+"""Merchandiser core: the paper's primary contribution.
+
+Modules map one-to-one onto the paper's sections:
+
+* :mod:`repro.core.patterns`    -- Section 4, access-pattern classification;
+* :mod:`repro.core.alpha`       -- Section 4, the alpha caching parameter;
+* :mod:`repro.core.estimator`   -- Section 4, Equation 1;
+* :mod:`repro.core.homogeneous` -- Section 5.2, T_dram_only / T_pm_only;
+* :mod:`repro.core.correlation` -- Section 5.1, the learned f(.);
+* :mod:`repro.core.model`       -- Section 5, Equation 2;
+* :mod:`repro.core.planner`     -- Section 6, Algorithm 1 (+ optimal oracle);
+* :mod:`repro.core.runtime`     -- Sections 3/6, the runtime policy;
+* :mod:`repro.core.api`         -- the user-facing API and system facade.
+"""
+
+from repro.core.api import Merchandiser, default_system, lb_hm_config
+from repro.core.alpha import AlphaRefiner, AlphaTable, alpha_stream_strided
+from repro.core.correlation import (
+    CorrelationFunction,
+    TrainingData,
+    compare_models,
+    generate_training_data,
+    solve_f_target,
+)
+from repro.core.estimator import AccessEstimator, ObjectDescriptor
+from repro.core.homogeneous import BasicBlock, HomogeneousPredictor, input_similarity_scale
+from repro.core.model import PerformanceModel, TaskModelInputs
+from repro.core.patterns import Affine, ArrayRef, Indirect, Loop, classify_kernel
+from repro.core.planner import PlanResult, TaskQuota, greedy_plan, optimal_quotas, throughput_plan
+from repro.core.runtime import ApplicationBinding, MerchandiserPolicy
+
+__all__ = [
+    "Merchandiser",
+    "default_system",
+    "lb_hm_config",
+    "AlphaTable",
+    "AlphaRefiner",
+    "alpha_stream_strided",
+    "AccessEstimator",
+    "ObjectDescriptor",
+    "BasicBlock",
+    "HomogeneousPredictor",
+    "input_similarity_scale",
+    "CorrelationFunction",
+    "TrainingData",
+    "generate_training_data",
+    "compare_models",
+    "solve_f_target",
+    "PerformanceModel",
+    "TaskModelInputs",
+    "greedy_plan",
+    "optimal_quotas",
+    "throughput_plan",
+    "PlanResult",
+    "TaskQuota",
+    "Loop",
+    "ArrayRef",
+    "Affine",
+    "Indirect",
+    "classify_kernel",
+    "ApplicationBinding",
+    "MerchandiserPolicy",
+]

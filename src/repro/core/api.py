@@ -1,0 +1,171 @@
+"""Public Merchandiser API.
+
+Two entry points mirror the paper's user-facing surface:
+
+* :func:`lb_hm_config` -- the Python analogue of the paper's single API
+  call ``void *LB_HM_config(void* objects, int* sizes)``: registers a
+  task's data objects for management and runs the static pattern analysis
+  on the task's kernel;
+* :class:`Merchandiser` -- the system facade: one :meth:`offline_setup`
+  call performs the offline workflow of Section 5.3 (correlation-function
+  training, event selection), after which :meth:`policy` builds the runtime
+  policy for any application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.common import make_rng
+from repro.core.correlation import (
+    CorrelationFunction,
+    TrainingData,
+    generate_training_data,
+)
+from repro.core.estimator import ObjectDescriptor
+from repro.core.homogeneous import HomogeneousPredictor
+from repro.core.model import PerformanceModel
+from repro.core.patterns import Loop, classify_kernel
+from repro.core.runtime import ApplicationBinding, MerchandiserPolicy
+from repro.sim.machine import MachineModel
+from repro.sim.memspec import HMConfig, optane_hm_config
+from repro.tasks.task import DataObject
+
+__all__ = ["lb_hm_config", "Merchandiser"]
+
+
+def lb_hm_config(
+    objects: Sequence[DataObject],
+    kernel: Loop | Iterable[Loop],
+    input_dependent: Sequence[str] = (),
+    strides: Mapping[str, int] | None = None,
+) -> dict[str, ObjectDescriptor]:
+    """Register a task's data objects for Merchandiser management.
+
+    ``objects`` and their sizes play the role of the paper's
+    ``(*objects, *sizes)`` pointers; ``kernel`` is the task's loop-nest IR,
+    which the Spindle-substitute classifies to obtain each object's access
+    pattern.  ``input_dependent`` names objects whose access *shape* varies
+    with the input (input-dependent stencils); random-pattern objects are
+    input-dependent by definition.
+
+    The user needs no knowledge of which objects cause load imbalance --
+    any object may be passed (Section 4).
+    """
+    patterns = classify_kernel(kernel)
+    out: dict[str, ObjectDescriptor] = {}
+    for obj in objects:
+        pattern = patterns.per_object.get(obj.name)
+        if pattern is None:
+            raise ValueError(
+                f"object {obj.name!r} does not appear in the task kernel"
+            )
+        stride = (strides or {}).get(obj.name, patterns.strides.get(obj.name, 1))
+        out[obj.name] = ObjectDescriptor(
+            name=obj.name,
+            pattern=pattern,
+            element_size=obj.element_size,
+            stride=stride,
+            input_dependent=obj.name in input_dependent,
+        )
+    return out
+
+
+@dataclass
+class Merchandiser:
+    """The trained system: offline artefacts + runtime policy factory.
+
+    Offline steps (Section 5.3) happen once in :meth:`offline_setup`:
+
+    1. correlation-function training data from the code-sample corpus;
+    2. model selection / training (GBR);
+    3. performance-event selection (top 8 by Gini importance);
+
+    Steps that are per-application (basic-block timing, pattern analysis)
+    happen when a policy is built; per-input online steps run inside the
+    policy during execution.
+    """
+
+    machine: MachineModel
+    hm: HMConfig
+    correlation: CorrelationFunction
+    selected_events: tuple[str, ...]
+    training_data: TrainingData | None = None
+
+    @classmethod
+    def offline_setup(
+        cls,
+        machine: MachineModel | None = None,
+        hm: HMConfig | None = None,
+        n_samples: int = 281,
+        placements_per_sample: int = 10,
+        n_events: int = 8,
+        select_events: bool = True,
+        seed=0,
+        keep_training_data: bool = False,
+    ) -> "Merchandiser":
+        """Run the one-time offline workflow and return a ready system."""
+        rng = make_rng(seed)
+        machine = machine or MachineModel()
+        hm = hm or optane_hm_config()
+        from repro.apps.codesamples import generate_corpus
+
+        samples = generate_corpus(n_samples, seed=rng)
+        data = generate_training_data(
+            machine, hm, samples, placements_per_sample, seed=rng
+        )
+        if select_events:
+            events, _steps = CorrelationFunction.select_events(
+                data, n_events=n_events, seed=rng
+            )
+        else:
+            events = data.events
+        correlation = CorrelationFunction.train(data, events=events, seed=rng)
+        return cls(
+            machine=machine,
+            hm=hm,
+            correlation=correlation,
+            selected_events=tuple(events),
+            training_data=data if keep_training_data else None,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def performance_model(self) -> PerformanceModel:
+        return PerformanceModel(self.correlation)
+
+    def policy(
+        self,
+        binding: ApplicationBinding,
+        seed=None,
+        **policy_kwargs,
+    ) -> MerchandiserPolicy:
+        """Build the runtime placement policy for one application."""
+        return MerchandiserPolicy(
+            model=self.performance_model,
+            binding=binding,
+            homogeneous=HomogeneousPredictor(self.machine, self.hm),
+            seed=seed,
+            **policy_kwargs,
+        )
+
+
+_DEFAULT_CACHE: dict[tuple, Merchandiser] = {}
+
+
+def default_system(seed: int = 0, fast: bool = True) -> Merchandiser:
+    """Memoised small-corpus system for tests and examples.
+
+    ``fast=True`` trims the corpus so setup takes seconds; experiments use
+    the full 281-region corpus via :meth:`Merchandiser.offline_setup`.
+    """
+    key = (seed, fast)
+    if key not in _DEFAULT_CACHE:
+        _DEFAULT_CACHE[key] = Merchandiser.offline_setup(
+            n_samples=60 if fast else 281,
+            placements_per_sample=6 if fast else 10,
+            select_events=not fast,
+            seed=seed,
+        )
+    return _DEFAULT_CACHE[key]

@@ -1,0 +1,87 @@
+"""The assembled performance model (Section 5, Equation 2).
+
+Predicts the execution time of a task instance with a new input when a
+chosen number of its memory accesses is served from DRAM::
+
+    T_hybrid = T_pm_only * (1 - r_dram) * f(PMCs, r_dram)
+             + T_dram_only * r_dram
+
+where ``r_dram = dram_acc / esti_mem_acc``.  The three ingredients come from
+the other core modules: ``esti_mem_acc`` from the input-aware estimator
+(Equation 1), the homogeneous endpoints from the basic-block predictor
+(Section 5.2), and f(.) from the trained correlation function (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.correlation import CorrelationFunction
+
+__all__ = ["TaskModelInputs", "PerformanceModel"]
+
+
+@dataclass(frozen=True)
+class TaskModelInputs:
+    """Everything Algorithm 1 needs to know about one task.
+
+    Matches the algorithm's input list: PM-only execution time ``D_i``,
+    measured hardware events ``PCs_i``, and total (estimated) accesses
+    ``Total_Acc_i``; plus the DRAM-only endpoint the model interpolates
+    toward.
+    """
+
+    task_id: str
+    t_pm_only: float
+    t_dram_only: float
+    total_accesses: float
+    pmcs: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if self.t_pm_only <= 0 or self.t_dram_only <= 0:
+            raise ValueError("endpoint times must be positive")
+        if self.total_accesses <= 0:
+            raise ValueError("total_accesses must be positive")
+
+
+class PerformanceModel:
+    """Equation 2, bound to a trained correlation function."""
+
+    def __init__(self, correlation: CorrelationFunction) -> None:
+        self.correlation = correlation
+
+    def predict_ratio(self, task: TaskModelInputs, r_dram: float) -> float:
+        """T_hybrid when fraction ``r_dram`` of accesses hits DRAM."""
+        if not 0.0 <= r_dram <= 1.0:
+            raise ValueError("r_dram must be in [0, 1]")
+        if r_dram >= 1.0:
+            return task.t_dram_only
+        f_val = self.correlation.predict(task.pmcs, r_dram)
+        return (
+            task.t_pm_only * (1.0 - r_dram) * f_val
+            + task.t_dram_only * r_dram
+        )
+
+    def predict(self, task: TaskModelInputs, dram_accesses: float) -> float:
+        """Algorithm 1's ``Model(D_i, PCs_i, DRAM_Acc)`` callable form."""
+        if dram_accesses < 0:
+            raise ValueError("dram_accesses must be non-negative")
+        r = min(1.0, dram_accesses / task.total_accesses)
+        return self.predict_ratio(task, r)
+
+    def ratio_grid(self, task: TaskModelInputs, ratios) -> "np.ndarray":
+        """Vectorised Equation 2 over a grid of DRAM ratios.
+
+        One stacked f(.) evaluation; the r = 1 entries collapse to the
+        DRAM-only endpoint exactly, as in :meth:`predict_ratio`.
+        """
+        import numpy as np
+
+        ratios = np.asarray(ratios, dtype=np.float64)
+        f_vals = self.correlation.predict_batch(task.pmcs, ratios)
+        times = (
+            task.t_pm_only * (1.0 - ratios) * f_vals
+            + task.t_dram_only * ratios
+        )
+        return np.where(ratios >= 1.0, task.t_dram_only, times)

@@ -1,0 +1,497 @@
+"""Merchandiser's runtime system (Sections 3 and 6).
+
+The runtime drives the whole online workflow on top of the engine's policy
+hooks:
+
+* the **first** instance of each task is the *base input*: it runs under the
+  default (MemoryOptimizer-like) migration while its per-object access
+  counts, performance counters and basic-block counts are profiled;
+* for every later region, Equation 1 estimates the new input's accesses,
+  Section 5.2 predicts the homogeneous endpoints, and Algorithm 1 turns the
+  performance model into per-task DRAM-access quotas;
+* quotas are realised by migrating each task's hottest pages toward its
+  quota (throttled by the engine's migration bandwidth), and by *gating* the
+  background hot-page daemon: pages whose owning tasks have reached their
+  goals are not migrated (Section 6, "Page migration");
+* when DRAM is short, pages of over-quota tasks are demoted first ("DRAM
+  space management");
+* after each instance, PEBS-style measurements refine the alpha of
+  input-dependent objects (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.common import PAGE_SIZE, make_rng
+from repro.core.estimator import AccessEstimator, ObjectDescriptor
+from repro.core.homogeneous import BasicBlock, HomogeneousPredictor
+from repro.core.model import PerformanceModel, TaskModelInputs
+from repro.core.planner import PlanResult, greedy_plan
+from repro.profiling.hybrid import HybridBaseProfiler
+from repro.profiling.pebs import PEBSProfiler
+from repro.profiling.hotpages import top_k_hot_pages
+from repro.profiling.pte import PTESampleProfiler
+from repro.sim.counters import collect_pmcs
+from repro.sim.engine import EngineContext, PlacementPolicy
+from repro.sim.pages import MigrationBatch
+from repro.tasks.task import TaskInstanceSpec, Workload
+
+__all__ = ["ApplicationBinding", "MerchandiserPolicy"]
+
+
+@dataclass
+class ApplicationBinding:
+    """What ``LB_HM_config`` plus offline code analysis provide per app.
+
+    * ``descriptors``: per task, the managed objects with their statically
+      classified patterns (the Spindle output + API registration);
+    * ``blocks``: the task programs' input-independent basic blocks for the
+      homogeneous-memory predictor (may be auto-derived from base
+      footprints when an app does not declare any);
+    * ``object_sizes``: per-instance data-object sizes, "known right before
+      task execution" (Section 4's API contract).
+    """
+
+    descriptors: dict[str, dict[str, ObjectDescriptor]]
+    blocks: list[BasicBlock] = field(default_factory=list)
+    #: per (task, region name): object name -> size; falls back to the
+    #: workload's declared object sizes when absent.
+    instance_object_sizes: dict[tuple[str, str], dict[str, int]] = field(
+        default_factory=dict
+    )
+
+    def object_sizes(
+        self, workload: Workload, inst: TaskInstanceSpec, region_name: str
+    ) -> dict[str, int]:
+        sizes = self.instance_object_sizes.get((inst.task_id, region_name))
+        if sizes is not None:
+            return sizes
+        return {
+            acc.obj: workload.object(acc.obj).size_bytes
+            for acc in inst.footprint.accesses
+        }
+
+
+class MerchandiserPolicy(PlacementPolicy):
+    """The complete Merchandiser runtime as an engine placement policy."""
+
+    name = "merchandiser"
+
+    def __init__(
+        self,
+        model: PerformanceModel,
+        binding: ApplicationBinding,
+        homogeneous: HomogeneousPredictor,
+        interval_s: float = 0.5,
+        sample_pages: int = 2048,
+        promote_per_interval: int = 1024,
+        pebs_period: int = 512,
+        enable_planning: bool = True,
+        enable_gating: bool = True,
+        enable_refinement: bool = True,
+        gate_margin: float = 1.15,
+        seed=None,
+    ) -> None:
+        self.model = model
+        self.binding = binding
+        self.homogeneous = homogeneous
+        self.interval_s = interval_s
+        self.promote_per_interval = promote_per_interval
+        #: ablation switches: Algorithm-1 planning / daemon quota gating /
+        #: online alpha refinement (all on in the full system)
+        self.enable_planning = enable_planning
+        self.enable_gating = enable_gating
+        self.enable_refinement = enable_refinement
+        #: quotas come from noisy estimates; the gate only blocks a task's
+        #: promotions once it exceeds its goal by this factor, so estimation
+        #: error cannot starve a task of genuinely useful fast memory
+        self.gate_margin = gate_margin
+        rng = make_rng(seed)
+        self._rng = rng
+        self._pte = PTESampleProfiler(max_pages=sample_pages, seed=rng)
+        self._pebs = PEBSProfiler(period=pebs_period, seed=rng)
+        # Section 4: the base input is profiled MemoryOptimizer-style on PM
+        # and Thermostat-style on DRAM -- coarse vs fine, by residency
+        self._base_profiler = HybridBaseProfiler(seed=rng)
+        # base-profile state is keyed per (task, region kind): instances
+        # whose access patterns differ are different tasks (Section 2)
+        self._estimators: dict[str, AccessEstimator] = {}
+        self._base_pmcs: dict[str, dict[str, float]] = {}
+        self._base_inputs: dict[str, tuple[float, ...]] = {}
+        self._pending_base: list[TaskInstanceSpec] = []
+        self._quotas: PlanResult | None = None
+        self._quota_targets: dict[str, float] = {}
+        self._promotion_queue: list[tuple[str, np.ndarray]] = []
+        self._last_scan = -1e30
+        #: planner decisions per region, for inspection/experiments
+        self.plans: list[PlanResult] = []
+        #: pages promoted per owning task (shared objects under "<shared>"),
+        #: the quantity behind the paper's "pages migrated among tasks can
+        #: vary by up to 21.4x" observation
+        self.pages_promoted_by_task: dict[str, int] = {}
+        #: wall-clock seconds spent in online prediction + planning
+        self.planning_overhead_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks
+    # ------------------------------------------------------------------
+    def on_workload_start(self, ctx: EngineContext) -> None:
+        for obj in ctx.page_table:
+            obj.set_residency(0.0)
+        if self.binding.blocks:
+            self.homogeneous.measure_blocks(self.binding.blocks)
+        self._last_scan = -1e30
+
+    @staticmethod
+    def _profile_key(task_id: str, kind: str) -> str:
+        """Profiles are per (task, phase kind) -- Section 2's task identity."""
+        return f"{task_id}|{kind}" if kind else task_id
+
+    def on_region_start(self, ctx: EngineContext) -> None:
+        import time as _time
+
+        assert ctx.region is not None
+        self._pending_base = []
+        region = ctx.region
+        ready: list[TaskModelInputs] = []
+        task_bytes: dict[str, int] = {}
+        # how many tasks touch each object (to split shared-object bytes)
+        sharers: dict[str, int] = {}
+        for inst in region.instances:
+            for acc in inst.footprint.accesses:
+                sharers[acc.obj] = sharers.get(acc.obj, 0) + 1
+
+        t0 = _time.perf_counter()
+        for inst in region.instances:
+            tid = inst.task_id
+            key = self._profile_key(tid, region.kind)
+            est = self._estimators.get(key)
+            if est is None or not est.has_base_profile:
+                self._pending_base.append(inst)
+                continue
+            sizes = self.binding.object_sizes(ctx.workload, inst, region.name)
+            total_acc = est.estimate_total(sizes)
+            if total_acc <= 0:
+                self._pending_base.append(inst)
+                continue
+            t_dram, t_pm = self._predict_endpoints(key, inst)
+            ready.append(
+                TaskModelInputs(
+                    task_id=tid,
+                    t_pm_only=t_pm,
+                    t_dram_only=t_dram,
+                    total_accesses=total_acc,
+                    pmcs=self._base_pmcs[key],
+                )
+            )
+            task_bytes[tid] = int(
+                sum(size / max(sharers.get(name, 1), 1) for name, size in sizes.items())
+            )
+
+        self._quotas = None
+        self._quota_targets = {}
+        self._promotion_queue = []
+        if self.enable_planning and ready and not self._pending_base:
+            plan = greedy_plan(
+                ready,
+                self.model,
+                ctx.page_table.dram_capacity_bytes,
+                task_bytes,
+            )
+            self._quotas = plan
+            self._quota_targets = plan.r_by_task()
+            self.plans.append(plan)
+            self._build_promotion_queue(ctx, plan)
+        self.planning_overhead_s += _time.perf_counter() - t0
+
+    def on_tick(self, ctx: EngineContext, dt: float) -> MigrationBatch | None:
+        moves: list[tuple[str, np.ndarray, bool]] = []
+        # 1. drain the quota-driven promotion queue (Algorithm 1's output),
+        # never requesting more than the engine's migration bandwidth allows
+        if self._promotion_queue:
+            budget = min(self.promote_per_interval, ctx.migration_budget_pages)
+            while self._promotion_queue and budget > 0:
+                name, idx = self._promotion_queue[0]
+                take = idx[:budget]
+                rest = idx[budget:]
+                moves.append((name, take, True))
+                budget -= len(take)
+                if len(rest):
+                    self._promotion_queue[0] = (name, rest)
+                else:
+                    self._promotion_queue.pop(0)
+        # 2. background hot-page daemon, gated by quotas
+        elif ctx.time - self._last_scan >= self.interval_s:
+            self._last_scan = ctx.time
+            daemon = self._gated_daemon_moves(ctx)
+            budget = max(1, ctx.migration_budget_pages)
+            left = budget
+            for name, idx in ((n, i) for n, i, _ in daemon):
+                if left <= 0:
+                    break
+                moves.append((name, idx[:left], True))
+                left -= min(len(idx), left)
+        if not moves:
+            return None
+        for name, idx, *rest in [(m[0], m[1]) for m in moves]:
+            owner = ctx.page_table.object(name).owner or "<shared>"
+            self.pages_promoted_by_task[owner] = (
+                self.pages_promoted_by_task.get(owner, 0) + len(idx)
+            )
+        # 3. make room: demote from over-quota tasks first.  Demotions and
+        # promotions share the engine's migration budget, so promotions are
+        # halved when swaps are needed.
+        n_promote = int(sum(len(i) for _, i, p in moves if p))
+        free = ctx.page_table.dram_free_pages()
+        if n_promote > free:
+            half = max(1, ctx.migration_budget_pages // 2)
+            kept: list[tuple[str, np.ndarray, bool]] = []
+            left = max(free, half)
+            for name, idx, promote in moves:
+                if left <= 0:
+                    break
+                kept.append((name, idx[:left], promote))
+                left -= min(len(idx), left)
+            moves = kept
+            n_promote = int(sum(len(i) for _, i, p in moves if p))
+            deficit = n_promote - free
+            if deficit > 0:
+                moves = self._demotions(ctx, deficit) + moves
+        return MigrationBatch(moves=tuple(moves))
+
+    def on_region_end(self, ctx: EngineContext) -> None:
+        assert ctx.region is not None
+        # record base profiles for first-time tasks
+        for inst in self._pending_base:
+            self._record_base(ctx, inst)
+        self._pending_base = []
+        # alpha refinement from this region's PEBS measurements
+        if self.enable_refinement:
+            for inst in ctx.region.instances:
+                key = self._profile_key(inst.task_id, ctx.region.kind)
+                est = self._estimators.get(key)
+                if est is None or not est.has_base_profile:
+                    continue
+                sizes = self.binding.object_sizes(ctx.workload, inst, ctx.region.name)
+                measured = self._pebs.measure(inst.footprint)
+                est.refine(sizes, measured)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _predict_endpoints(
+        self, key: str, inst: TaskInstanceSpec
+    ) -> tuple[float, float]:
+        """(T_dram_only, T_pm_only) for this instance's input."""
+        base_vec = self._base_inputs[key]
+        new_vec = inst.input_vector if inst.input_vector else base_vec
+        return self.homogeneous.predict(key, new_vec)
+
+    def _record_base(self, ctx: EngineContext, inst: TaskInstanceSpec) -> None:
+        """Online step 1 of Section 5.3: collect the base-input profile."""
+        tid = inst.task_id
+        assert ctx.region is not None
+        key = self._profile_key(tid, ctx.region.kind)
+        descriptors = self.binding.descriptors.get(tid)
+        if descriptors is None:
+            # objects not registered via the API are not managed
+            return
+        est = AccessEstimator(descriptors)
+        sizes = self.binding.object_sizes(ctx.workload, inst, ctx.region.name)
+        counts = self._base_profiler.measure(
+            inst.footprint, ctx.page_table.access_fractions()
+        )
+        managed_counts = {k: v for k, v in counts.items() if k in descriptors}
+        est.record_base_profile(sizes, managed_counts)
+        self._estimators[key] = est
+        self._base_pmcs[key] = collect_pmcs(
+            inst.footprint, ctx.machine, ctx.hm, rng=self._rng
+        )
+        self._base_inputs[key] = inst.input_vector or (1.0,)
+        # auto-derive the task's "program body" basic block when the app
+        # declares none: the whole base instance is one block
+        block_name = f"{key}.body"
+        if not self.homogeneous.has_block(block_name):
+            self.homogeneous.measure_blocks(
+                [BasicBlock(name=block_name, unit_footprint=inst.footprint)]
+            )
+        self.homogeneous.record_base(
+            key, {block_name: 1.0}, self._base_inputs[key]
+        )
+
+    def _task_objects(self, ctx: EngineContext, tid: str) -> list[str]:
+        assert ctx.region is not None
+        for inst in ctx.region.instances:
+            if inst.task_id == tid:
+                return list(inst.footprint.objects)
+        return []
+
+    def _task_r_dram(self, ctx: EngineContext, tid: str) -> float:
+        """Current access-weighted DRAM fraction of a task."""
+        assert ctx.region is not None
+        fractions = ctx.page_table.access_fractions()
+        for inst in ctx.region.instances:
+            if inst.task_id != tid:
+                continue
+            total = inst.footprint.total_accesses
+            if total == 0:
+                return 0.0
+            return sum(
+                acc.total * fractions.get(acc.obj, 0.0)
+                for acc in inst.footprint.accesses
+            ) / total
+        return 0.0
+
+    def _build_promotion_queue(self, ctx: EngineContext, plan: PlanResult) -> None:
+        """Queue the hottest pages of each task up to its quota.
+
+        Shared objects are promoted once, driven by the highest quota among
+        their sharers.
+        """
+        assert ctx.region is not None
+        # Algorithm 1's realisation: "the increase of DRAM accesses of a
+        # task is implemented by migrating its pages to DRAM".  Tasks are
+        # served in descending-quota order; each promotes its *hottest*
+        # pages (across all of its objects, shared ones included) until its
+        # access-weighted DRAM fraction reaches its quota.  Pages promoted
+        # for one task also raise the fractions of tasks sharing the object,
+        # so later tasks need correspondingly less.
+        table = ctx.page_table
+        budget_pages = table.dram_capacity_bytes // PAGE_SIZE - int(
+            sum(obj.dram_pages() for obj in table)
+        )
+        # simulated residency: start from what is already in DRAM
+        resident: dict[str, np.ndarray] = {
+            obj.name: obj.residency > 0.5 for obj in table
+        }
+        picked: dict[str, np.ndarray] = {
+            name: np.zeros_like(mask) for name, mask in resident.items()
+        }
+        by_task = {inst.task_id: inst for inst in ctx.region.instances}
+        order = sorted(
+            self._quota_targets, key=self._quota_targets.__getitem__, reverse=True
+        )
+        for tid in order:
+            if budget_pages <= 0:
+                break
+            inst = by_task.get(tid)
+            if inst is None:
+                continue
+            quota = self._quota_targets[tid]
+            total_acc = inst.footprint.total_accesses
+            if total_acc <= 0:
+                continue
+            cur = sum(
+                acc.total
+                * float(table.object(acc.obj).weight @ resident[acc.obj])
+                for acc in inst.footprint.accesses
+            ) / total_acc
+            if cur >= quota:
+                continue
+            # pool the task's non-resident pages with their benefit to this
+            # task's DRAM fraction, hottest first
+            names: list[str] = []
+            pages: list[np.ndarray] = []
+            gains: list[np.ndarray] = []
+            for acc in inst.footprint.accesses:
+                obj = table.object(acc.obj)
+                cand = np.flatnonzero(~resident[acc.obj])
+                if not len(cand):
+                    continue
+                names.extend([acc.obj] * len(cand))
+                pages.append(cand)
+                gains.append(obj.weight[cand] * (acc.total / total_acc))
+            if not pages:
+                continue
+            all_pages = np.concatenate(pages)
+            all_gains = np.concatenate(gains)
+            name_arr = np.array(names)
+            rank = np.argsort(all_gains)[::-1]
+            cum = np.cumsum(all_gains[rank])
+            need = int(np.searchsorted(cum, quota - cur, side="left")) + 1
+            need = min(need, budget_pages, len(rank))
+            take = rank[:need]
+            budget_pages -= need
+            for name in np.unique(name_arr[take]):
+                sel = all_pages[take[name_arr[take] == name]]
+                resident[name][sel] = True
+                picked[name][sel] = True
+        queue: list[tuple[str, np.ndarray]] = []
+        for name, mask in picked.items():
+            idx = np.flatnonzero(mask)
+            if len(idx):
+                obj = table.object(name)
+                # hottest first so partial drains still help the most
+                idx = idx[np.argsort(obj.weight[idx])[::-1]]
+                queue.append((name, idx))
+        self._promotion_queue = queue
+
+    def _gated_daemon_moves(
+        self, ctx: EngineContext
+    ) -> list[tuple[str, np.ndarray, bool]]:
+        """MemoryOptimizer-style promotion, gated by per-task quotas."""
+        rates = ctx.page_access_rates()
+        estimate = self._pte.sample(ctx.page_table, rates, self.interval_s)
+        hot = top_k_hot_pages(estimate, self.promote_per_interval)
+        assert ctx.region is not None
+        # which tasks access each object
+        accessors: dict[str, list[str]] = {}
+        for inst in ctx.region.instances:
+            for acc in inst.footprint.accesses:
+                accessors.setdefault(acc.obj, []).append(inst.task_id)
+        moves: list[tuple[str, np.ndarray, bool]] = []
+        for name, idx in hot:
+            tasks = accessors.get(name, [])
+            if self.enable_gating and self._quota_targets and tasks:
+                # the paper's gate: skip pages whose accessing tasks have
+                # all reached their DRAM-access goals
+                reached = all(
+                    self._task_r_dram(ctx, tid)
+                    >= min(1.0, self._quota_targets.get(tid, 1.0) * self.gate_margin)
+                    - 1e-9
+                    for tid in tasks
+                )
+                if reached:
+                    continue
+            obj = ctx.page_table.object(name)
+            not_resident = idx[obj.residency[idx] < 1.0 - 1e-12]
+            if len(not_resident):
+                moves.append((name, not_resident, True))
+        return moves
+
+    def _demotions(
+        self, ctx: EngineContext, pages_needed: int
+    ) -> list[tuple[str, np.ndarray, bool]]:
+        """Demote coldest pages, over-quota tasks' objects first."""
+        assert ctx.region is not None
+        # rank objects: over-quota owners first, then by coldness
+        entries: list[tuple[int, float, str]] = []
+        fractions = ctx.page_table.access_fractions()
+        for inst in ctx.region.instances:
+            tid = inst.task_id
+            over = (
+                self._task_r_dram(ctx, tid)
+                > self._quota_targets.get(tid, 1.0) + 1e-9
+            )
+            for acc in inst.footprint.accesses:
+                entries.append((0 if over else 1, fractions.get(acc.obj, 0.0), acc.obj))
+        entries.sort()
+        moves: list[tuple[str, np.ndarray, bool]] = []
+        freed = 0
+        seen: set[str] = set()
+        for _, _, name in entries:
+            if freed >= pages_needed:
+                break
+            if name in seen:
+                continue
+            seen.add(name)
+            obj = ctx.page_table.object(name)
+            cold = obj.coldest_dram_pages(limit=pages_needed - freed)
+            if len(cold):
+                moves.append((name, cold, False))
+                freed += len(cold)
+        return moves

@@ -1,0 +1,192 @@
+"""Trace-driven access-pattern recognition (Section 5.3, "Limitation").
+
+Merchandiser normally needs application source code: the user inserts the
+API and compiles with Spindle for static pattern analysis.  For binaries,
+the paper prescribes the fallback pipeline: a dynamic binary instrumentation
+tool intercepts allocations and emits per-object *address traces*, and a
+trace-analysis tool (the paper cites QUAD and Park et al.'s trace-driven
+recognition) classifies each object's pattern from the addresses alone.
+
+This module implements both halves:
+
+* :func:`synthesize_trace` -- the instrumentation stand-in: generates the
+  address stream a kernel of a given pattern would emit (used by tests and
+  by applications that want to exercise the binary-only path);
+* :class:`TraceClassifier` -- the recognition tool: classifies an address
+  trace as stream / strided / stencil / random from its delta histogram,
+  and recovers the stride.
+
+The classifier is deliberately source-free: it sees nothing but addresses,
+exactly like the real binary-only pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common import CACHE_LINE, AccessPattern, make_rng
+from repro.core.estimator import ObjectDescriptor
+
+__all__ = ["synthesize_trace", "TraceClassifier", "TraceVerdict"]
+
+
+def synthesize_trace(
+    pattern: AccessPattern,
+    n_accesses: int,
+    object_bytes: int,
+    element_size: int = 8,
+    stride: int = 1,
+    stencil_taps: int = 3,
+    rng=None,
+) -> np.ndarray:
+    """Generate the address trace a kernel of ``pattern`` would emit.
+
+    Addresses are object-relative byte offsets, as a binary-instrumentation
+    tool would report after subtracting the allocation base.
+    """
+    if n_accesses <= 0:
+        raise ValueError("n_accesses must be positive")
+    if object_bytes < element_size:
+        raise ValueError("object smaller than one element")
+    rng = make_rng(rng)
+    n_elements = max(1, object_bytes // element_size)
+
+    if pattern is AccessPattern.STREAM:
+        idx = np.arange(n_accesses, dtype=np.int64) % n_elements
+    elif pattern is AccessPattern.STRIDED:
+        if stride <= 1:
+            raise ValueError("strided pattern needs stride > 1")
+        idx = (np.arange(n_accesses, dtype=np.int64) * stride) % n_elements
+    elif pattern is AccessPattern.STENCIL:
+        # interleaved taps: i-1, i, i+1, i, i+1, i+2, ...
+        base = np.repeat(np.arange(-(-n_accesses // stencil_taps)), stencil_taps)
+        offsets = np.tile(
+            np.arange(stencil_taps) - stencil_taps // 2, len(base) // stencil_taps + 1
+        )
+        idx = (base[:n_accesses] + offsets[:n_accesses]) % n_elements
+    elif pattern is AccessPattern.RANDOM:
+        idx = rng.integers(0, n_elements, size=n_accesses)
+    else:  # pragma: no cover - enum is exhaustive
+        raise ValueError(pattern)
+    return (idx * element_size).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class TraceVerdict:
+    """Classification of one object's address trace."""
+
+    pattern: AccessPattern
+    #: recovered element stride (1 for stream/stencil, n for strided,
+    #: meaningless for random)
+    stride: int
+    #: fraction of deltas explained by the dominant stride
+    confidence: float
+
+    def to_descriptor(self, name: str, element_size: int = 8) -> ObjectDescriptor:
+        """Build the Equation-1 descriptor the runtime needs.
+
+        Trace-classified random/stencil objects are marked input-dependent:
+        without source analysis there is no way to prove a stencil's shape
+        is input-invariant, so alpha falls back to online refinement (the
+        safe default of Section 4).
+        """
+        return ObjectDescriptor(
+            name=name,
+            pattern=self.pattern,
+            element_size=element_size,
+            stride=self.stride,
+            input_dependent=self.pattern
+            in (AccessPattern.RANDOM, AccessPattern.STENCIL),
+        )
+
+
+class TraceClassifier:
+    """Classifies address traces by their delta structure.
+
+    The decision procedure, mirroring trace-recognition tools:
+
+    1. compute successive address deltas (in elements);
+    2. if no small set of deltas dominates, the access is RANDOM;
+    3. if deltas alternate between small negative/positive steps around a
+       slowly advancing base (the tap signature), it is a STENCIL;
+    4. a single dominant positive delta of 1 element is a STREAM;
+       a single dominant larger delta is STRIDED with that stride.
+    """
+
+    def __init__(
+        self,
+        element_size: int = 8,
+        dominance: float = 0.6,
+        max_trace: int = 1 << 16,
+    ) -> None:
+        if element_size <= 0:
+            raise ValueError("element_size must be positive")
+        if not 0.5 <= dominance <= 1.0:
+            raise ValueError("dominance must be in [0.5, 1]")
+        self.element_size = element_size
+        self.dominance = dominance
+        self.max_trace = max_trace
+
+    # ------------------------------------------------------------------
+    def classify(self, addresses: np.ndarray) -> TraceVerdict:
+        """Classify one object-relative address trace."""
+        addr = np.asarray(addresses, dtype=np.int64)
+        if addr.ndim != 1 or len(addr) < 4:
+            raise ValueError("need a 1-D trace of at least 4 accesses")
+        if len(addr) > self.max_trace:
+            # analyse a contiguous window: strided downsampling would
+            # corrupt the delta structure (a stream would look strided)
+            addr = addr[: self.max_trace]
+        deltas = np.diff(addr) // self.element_size
+        # drop wrap-arounds (object-end back to start)
+        span = max(int(np.abs(deltas).max()), 1)
+        body = deltas[np.abs(deltas) < max(span, 2) * 0.9] if span > 2 else deltas
+        if len(body) == 0:
+            body = deltas
+
+        values, counts = np.unique(body, return_counts=True)
+        order = np.argsort(counts)[::-1]
+        top_vals = values[order[:3]]
+        top_counts = counts[order[:3]]
+        total = counts.sum()
+        top1_share = top_counts[0] / total
+        top3_share = top_counts[: len(top_vals)].sum() / total
+
+        # RANDOM: no compact delta alphabet
+        if top3_share < self.dominance:
+            return TraceVerdict(AccessPattern.RANDOM, 1, float(1 - top3_share))
+
+        # STENCIL: the tap signature -- recurring back-steps interleaved
+        # with forward steps.  A pure stream has essentially no negative
+        # deltas, so a substantial share of both signs among the dominant
+        # deltas identifies the stencil before the stream/strided check.
+        if len(top_vals) >= 2:
+            shares = top_counts / total
+            back = shares[(top_vals < 0)].sum() if (top_vals < 0).any() else 0.0
+            fwd = shares[(top_vals > 0)].sum() if (top_vals > 0).any() else 0.0
+            if back >= 0.15 and fwd >= 0.15:
+                return TraceVerdict(AccessPattern.STENCIL, 1, float(top3_share))
+
+        dominant = int(abs(top_vals[0]))
+        if dominant <= 1:
+            return TraceVerdict(AccessPattern.STREAM, 1, float(top1_share))
+        return TraceVerdict(AccessPattern.STRIDED, dominant, float(top1_share))
+
+    # ------------------------------------------------------------------
+    def classify_objects(
+        self, traces: dict[str, np.ndarray]
+    ) -> dict[str, TraceVerdict]:
+        """Classify every intercepted object of a task."""
+        return {name: self.classify(trace) for name, trace in traces.items()}
+
+    def descriptors(
+        self, traces: dict[str, np.ndarray], element_size: int | None = None
+    ) -> dict[str, ObjectDescriptor]:
+        """The binary-only replacement for :func:`repro.core.api.lb_hm_config`."""
+        esize = element_size or self.element_size
+        return {
+            name: verdict.to_descriptor(name, esize)
+            for name, verdict in self.classify_objects(traces).items()
+        }

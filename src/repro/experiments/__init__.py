@@ -1,0 +1,15 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Run everything with::
+
+    python -m repro.experiments.runner all
+
+or a single experiment (``fig4``, ``table3``, ...).  Each module exposes a
+``run(ctx)`` function returning a dict of results and printing the paper's
+rows/series; ``repro.experiments.common`` provides the shared machinery
+(one trained Merchandiser instance, cached engine runs).
+"""
+
+from repro.experiments.common import ExperimentContext
+
+__all__ = ["ExperimentContext"]

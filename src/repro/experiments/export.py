@@ -1,0 +1,51 @@
+"""Result export: persist experiment outputs as JSON.
+
+`python -m repro.experiments.runner all --json results/` writes one file
+per experiment, so downstream plotting/diffing does not have to re-run the
+simulations.  Numpy scalars and arrays are converted to plain Python so the
+files are tool-agnostic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["to_jsonable", "write_result"]
+
+
+def to_jsonable(value):
+    """Recursively convert an experiment result into JSON-encodable data."""
+    if isinstance(value, dict):
+        return {_key(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "__dict__"):
+        return to_jsonable(vars(value))
+    return repr(value)
+
+
+def _key(key) -> str:
+    if isinstance(key, (str, int, float, bool)):
+        return str(key)
+    if isinstance(key, tuple):
+        return "|".join(str(k) for k in key)
+    return repr(key)
+
+
+def write_result(directory: str | Path, name: str, result) -> Path:
+    """Write one experiment's result; returns the file path."""
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{name}.json"
+    with path.open("w") as fh:
+        json.dump(to_jsonable(result), fh, indent=2, sort_keys=True)
+    return path

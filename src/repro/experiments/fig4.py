@@ -1,0 +1,97 @@
+"""Figure 4: overall performance, normalised to PM-only.
+
+The paper's headline numbers (Section 7.1):
+
+* Merchandiser over PM-only:        +23.6% average (up to +37.8%)
+* Merchandiser over Memory Mode:    +17.1% average (up to +26.0%)
+* Merchandiser over MemoryOptimizer:+15.4% average (up to +23.2%)
+* vs application-specific systems:  +17.3% over Sparta (SpGEMM),
+                                    -4.6% vs WarpX-PM (WarpX)
+
+Shape requirements: Merchandiser wins on every app; its edge over Memory
+Mode is largest on the irregular apps (SpGEMM, BFS, NWChem-TC), its edge
+over MemoryOptimizer on the regular ones (WarpX, DMRG).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import ALL_APPS, SpGEMMApp, WarpXApp
+from repro.experiments.common import (
+    POLICY_ORDER,
+    ExperimentContext,
+    format_table,
+)
+
+PAPER_AVERAGES = {
+    "merch_over_pm": 1.236,
+    "merch_over_mm": 1.171,
+    "merch_over_mo": 1.154,
+}
+
+
+def run(ctx: ExperimentContext) -> dict[str, object]:
+    speedups: dict[str, dict[str, float]] = {}
+    rows = []
+    for app_cls in ALL_APPS:
+        name = ctx.app(app_cls).name
+        pm = ctx.run(app_cls, "pm-only").total_time_s
+        per_policy = {}
+        for policy in POLICY_ORDER[1:]:
+            per_policy[policy] = pm / ctx.run(app_cls, policy).total_time_s
+        if app_cls is SpGEMMApp:
+            per_policy["sparta"] = pm / ctx.run(app_cls, "sparta").total_time_s
+        if app_cls is WarpXApp:
+            per_policy["warpx-pm"] = pm / ctx.run(app_cls, "warpx-pm").total_time_s
+        speedups[name] = per_policy
+        rows.append(
+            [
+                name,
+                per_policy["memory-mode"],
+                per_policy["memory-optimizer"],
+                per_policy["merchandiser"],
+                per_policy.get("sparta", per_policy.get("warpx-pm", "-")),
+            ]
+        )
+
+    merch = np.array([s["merchandiser"] for s in speedups.values()])
+    mm = np.array([s["memory-mode"] for s in speedups.values()])
+    mo = np.array([s["memory-optimizer"] for s in speedups.values()])
+    summary = {
+        "merch_over_pm": float(merch.mean()),
+        "merch_over_pm_max": float(merch.max()),
+        "merch_over_mm": float((merch / mm).mean()),
+        "merch_over_mm_max": float((merch / mm).max()),
+        "merch_over_mo": float((merch / mo).mean()),
+        "merch_over_mo_max": float((merch / mo).max()),
+    }
+    sp = speedups["SpGEMM"]
+    wx = speedups["WarpX"]
+    summary["merch_over_sparta"] = sp["merchandiser"] / sp["sparta"]
+    summary["merch_vs_warpx_pm"] = wx["merchandiser"] / wx["warpx-pm"]
+
+    print("Figure 4: speedup over PM-only execution")
+    print(
+        format_table(
+            ["application", "Memory Mode", "MemoryOptimizer", "Merchandiser", "app-specific"],
+            rows,
+        )
+    )
+    print(
+        f"  Merchandiser avg over PM-only: {summary['merch_over_pm']:.3f} "
+        f"(max {summary['merch_over_pm_max']:.3f}; paper avg {PAPER_AVERAGES['merch_over_pm']})"
+    )
+    print(
+        f"  Merchandiser avg over Memory Mode: {summary['merch_over_mm']:.3f} "
+        f"(max {summary['merch_over_mm_max']:.3f}; paper avg {PAPER_AVERAGES['merch_over_mm']})"
+    )
+    print(
+        f"  Merchandiser avg over MemoryOptimizer: {summary['merch_over_mo']:.3f} "
+        f"(max {summary['merch_over_mo_max']:.3f}; paper avg {PAPER_AVERAGES['merch_over_mo']})"
+    )
+    print(
+        f"  vs Sparta (SpGEMM): {summary['merch_over_sparta']:.3f} (paper 1.173); "
+        f"vs WarpX-PM (WarpX): {summary['merch_vs_warpx_pm']:.3f} (paper 0.954)"
+    )
+    return {"speedups": speedups, "summary": summary}

@@ -1,0 +1,115 @@
+"""Experiment runner CLI.
+
+Usage::
+
+    python -m repro.experiments.runner all            # every experiment
+    python -m repro.experiments.runner fig4 table3    # a selection
+    python -m repro.experiments.runner all --full     # paper-sized corpus
+
+``--full`` uses the paper's 281-region training corpus and the complete
+feature-selection sweep (minutes); the default fast mode reproduces every
+shape in a fraction of that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablation,
+    extensibility,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    overhead,
+    sensitivity,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.common import ExperimentContext
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "overhead": overhead.run,
+    "ablation": ablation.run,
+    "extensibility": extensibility.run,
+    "sensitivity": sensitivity.run,
+}
+
+#: cheap-first ordering so failures surface early
+DEFAULT_ORDER = (
+    "table1",
+    "table2",
+    "fig3",
+    "table3",
+    "fig7",
+    "table4",
+    "fig4",
+    "fig5",
+    "fig6",
+    "overhead",
+    "ablation",
+    "extensibility",
+    "sensitivity",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment names or 'all'; choices: {', '.join(DEFAULT_ORDER)}",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-sized training corpus and full feature selection",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="write each experiment's result as JSON into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(DEFAULT_ORDER) if "all" in args.experiments else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    ctx = ExperimentContext(seed=args.seed, fast=not args.full)
+    results = {}
+    for name in names:
+        print("=" * 72)
+        print(f"== {name}")
+        print("=" * 72)
+        start = time.perf_counter()
+        results[name] = EXPERIMENTS[name](ctx)
+        if args.json:
+            from repro.experiments.export import write_result
+
+            path = write_result(args.json, name, results[name])
+            print(f"[result written to {path}]")
+        print(f"[{name} done in {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

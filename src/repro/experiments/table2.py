@@ -1,0 +1,41 @@
+"""Table 2: applications, inputs and configurations.
+
+Prints the workload registry: the paper's problem/scale per application and
+the simulated-scale equivalents this reproduction runs (footprints are the
+paper's GB figures scaled by 1/1024 -- see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.apps import ALL_APPS
+from repro.experiments.common import ExperimentContext, format_table
+
+
+def run(ctx: ExperimentContext) -> dict[str, object]:
+    rows = []
+    table = {}
+    for app_cls in ALL_APPS:
+        app = ctx.app(app_cls)
+        row = app.table2_row()
+        wl = ctx.workload(app_cls)
+        row["workload_mb"] = wl.total_footprint_bytes / (1 << 20)
+        table[app.name] = row
+        rows.append(
+            [
+                row["application"],
+                row["problem"][:44],
+                f"{row['paper_memory_gb']:.1f} GB",
+                f"{row['workload_mb']:.0f} MB",
+                f"{row['mpi_processes']}x{row['openmp_threads']}",
+                row["tasks"],
+                row["iterations"],
+            ]
+        )
+    print("Table 2: applications and their inputs (paper GB -> simulated MB)")
+    print(
+        format_table(
+            ["application", "problem", "paper mem", "sim mem", "MPIxOMP", "tasks", "iters"],
+            rows,
+        )
+    )
+    return table

@@ -1,0 +1,49 @@
+"""Statistical-learning substrate.
+
+The paper trains its correlation function with Python scikit-learn
+(Section 7.3, Table 3).  scikit-learn is not available offline, so this
+package reimplements the six regressors of Table 3 from scratch on numpy:
+
+* :class:`DecisionTreeRegressor` (DTR) -- CART with variance-reduction splits;
+* :class:`RandomForestRegressor` (RFR) -- bagged trees with feature subsampling;
+* :class:`GradientBoostedRegressor` (GBR) -- least-squares boosting on trees
+  (the model the paper selects);
+* :class:`KNeighborsRegressor` (KNR) -- brute-force k-NN;
+* :class:`KernelRidgeRegressor` (stand-in for SVR: RBF kernel ridge --
+  documented substitution, same hypothesis class family);
+* :class:`MLPRegressor` (ANN) -- ReLU MLP trained with Adam.
+
+Plus the support utilities the pipeline needs: R-squared, train/test split,
+standardisation, and Gini (variance-reduction) feature importance with
+recursive elimination (Section 5.1's event-selection procedure).
+"""
+
+from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gbr import GradientBoostedRegressor
+from repro.ml.knn import KNeighborsRegressor
+from repro.ml.kernel import KernelRidgeRegressor
+from repro.ml.mlp import MLPRegressor
+from repro.ml.metrics import (
+    StandardScaler,
+    mean_absolute_percentage_error,
+    prediction_accuracy,
+    r2_score,
+    train_test_split,
+)
+from repro.ml.selection import recursive_importance_elimination
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "GradientBoostedRegressor",
+    "KNeighborsRegressor",
+    "KernelRidgeRegressor",
+    "MLPRegressor",
+    "r2_score",
+    "mean_absolute_percentage_error",
+    "prediction_accuracy",
+    "train_test_split",
+    "StandardScaler",
+    "recursive_importance_elimination",
+]

@@ -1,0 +1,58 @@
+"""k-nearest-neighbours regressor (Table 3's KNR: n_neighbors=8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.metrics import StandardScaler
+
+__all__ = ["KNeighborsRegressor"]
+
+
+class KNeighborsRegressor:
+    """Brute-force k-NN with distance weighting over standardised features."""
+
+    def __init__(self, n_neighbors: int = 8, weights: str = "distance") -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._scaler = StandardScaler()
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, X, y) -> "KNeighborsRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y disagree on sample count")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on empty data")
+        self._X = self._scaler.fit_transform(X)
+        self._y = y
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self._X is None or self._y is None:
+            raise RuntimeError("model not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        Xs = self._scaler.transform(X)
+        k = min(self.n_neighbors, self._X.shape[0])
+        # squared distances in one shot; chunk if queries are huge
+        out = np.empty(Xs.shape[0])
+        chunk = 2048
+        for start in range(0, Xs.shape[0], chunk):
+            q = Xs[start : start + chunk]
+            d2 = ((q[:, None, :] - self._X[None, :, :]) ** 2).sum(axis=2)
+            nn = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            rows = np.arange(q.shape[0])[:, None]
+            if self.weights == "uniform":
+                out[start : start + chunk] = self._y[nn].mean(axis=1)
+            else:
+                w = 1.0 / np.maximum(np.sqrt(d2[rows, nn]), 1e-12)
+                out[start : start + chunk] = (w * self._y[nn]).sum(axis=1) / w.sum(axis=1)
+        return out

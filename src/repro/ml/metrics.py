@@ -1,0 +1,93 @@
+"""Model-evaluation utilities (scikit-learn API subset)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import make_rng
+
+__all__ = [
+    "r2_score",
+    "mean_absolute_percentage_error",
+    "prediction_accuracy",
+    "train_test_split",
+    "StandardScaler",
+]
+
+
+def _as_1d(y) -> np.ndarray:
+    arr = np.asarray(y, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("empty target array")
+    return arr
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination, the paper's Table 3 metric."""
+    yt, yp = _as_1d(y_true), _as_1d(y_pred)
+    if yt.shape != yp.shape:
+        raise ValueError("shape mismatch")
+    ss_res = float(np.sum((yt - yp) ** 2))
+    ss_tot = float(np.sum((yt - yt.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def mean_absolute_percentage_error(y_true, y_pred) -> float:
+    """MAPE with a small floor to avoid division blow-ups."""
+    yt, yp = _as_1d(y_true), _as_1d(y_pred)
+    if yt.shape != yp.shape:
+        raise ValueError("shape mismatch")
+    denom = np.maximum(np.abs(yt), 1e-12)
+    return float(np.mean(np.abs(yt - yp) / denom))
+
+
+def prediction_accuracy(y_true, y_pred) -> float:
+    """``1 - MAPE`` clipped to [0, 1]: the paper's "prediction accuracy"
+    (Table 4, Figure 7) -- how close predictions are to measurements."""
+    return float(np.clip(1.0 - mean_absolute_percentage_error(y_true, y_pred), 0.0, 1.0))
+
+
+def train_test_split(X, y, test_fraction: float = 0.3, rng=None):
+    """Shuffle and split into train/test (the paper uses 70/30)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    X = np.asarray(X, dtype=np.float64)
+    y = _as_1d(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y disagree on sample count")
+    n = X.shape[0]
+    if n < 2:
+        raise ValueError("need at least two samples to split")
+    perm = make_rng(rng).permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    n_test = min(n_test, n - 1)
+    test_idx, train_idx = perm[:n_test], perm[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class StandardScaler:
+    """Per-feature standardisation (zero mean, unit variance)."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,128 @@
+"""Small multilayer perceptron regressor (Table 3's ANN).
+
+Matches the paper's configuration: hidden layers (200, 20), L2 penalty
+``alpha=1e-6``; ReLU activations, Adam optimiser, mini-batch training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import make_rng
+from repro.ml.metrics import StandardScaler
+
+__all__ = ["MLPRegressor"]
+
+
+class MLPRegressor:
+    """ReLU MLP trained with Adam on mean-squared error."""
+
+    def __init__(
+        self,
+        hidden_layers: tuple[int, ...] = (200, 20),
+        alpha: float = 1e-6,
+        learning_rate: float = 1e-3,
+        epochs: int = 200,
+        batch_size: int = 64,
+        rng=None,
+    ) -> None:
+        if any(h < 1 for h in hidden_layers):
+            raise ValueError("hidden layer sizes must be positive")
+        if epochs < 1 or batch_size < 1:
+            raise ValueError("epochs and batch_size must be positive")
+        self.hidden_layers = tuple(hidden_layers)
+        self.alpha = alpha
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self._rng = make_rng(rng)
+        self._scaler_x = StandardScaler()
+        self._y_mean = 0.0
+        self._y_scale = 1.0
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self.loss_curve_: list[float] = []
+
+    # ------------------------------------------------------------------
+    def _init_params(self, d_in: int) -> None:
+        sizes = (d_in, *self.hidden_layers, 1)
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(2.0 / fan_in)  # He init for ReLU
+            self._weights.append(self._rng.normal(0.0, limit, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        acts = [X]
+        h = X
+        last = len(self._weights) - 1
+        for i, (W, b) in enumerate(zip(self._weights, self._biases)):
+            z = h @ W + b
+            h = z if i == last else np.maximum(z, 0.0)
+            acts.append(h)
+        return h, acts
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "MLPRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y disagree on sample count")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on empty data")
+        Xs = self._scaler_x.fit_transform(X)
+        self._y_mean = float(y.mean())
+        self._y_scale = float(y.std()) or 1.0
+        yt = (y - self._y_mean) / self._y_scale
+
+        n, d = Xs.shape
+        self._init_params(d)
+        # Adam state
+        m_w = [np.zeros_like(W) for W in self._weights]
+        v_w = [np.zeros_like(W) for W in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        b1, b2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        self.loss_curve_ = []
+        for _ in range(self.epochs):
+            perm = self._rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                batch = perm[start : start + self.batch_size]
+                xb, yb = Xs[batch], yt[batch]
+                out, acts = self._forward(xb)
+                err = out.ravel() - yb
+                epoch_loss += float((err**2).sum())
+                grad = (2.0 / len(batch)) * err[:, None]
+                grads_w: list[np.ndarray] = [None] * len(self._weights)  # type: ignore
+                grads_b: list[np.ndarray] = [None] * len(self._biases)  # type: ignore
+                delta = grad
+                for i in range(len(self._weights) - 1, -1, -1):
+                    grads_w[i] = acts[i].T @ delta + 2.0 * self.alpha * self._weights[i]
+                    grads_b[i] = delta.sum(axis=0)
+                    if i > 0:
+                        delta = (delta @ self._weights[i].T) * (acts[i] > 0)
+                step += 1
+                for i in range(len(self._weights)):
+                    for g, mth, vth, params in (
+                        (grads_w[i], m_w, v_w, self._weights),
+                        (grads_b[i], m_b, v_b, self._biases),
+                    ):
+                        mth[i] = b1 * mth[i] + (1 - b1) * g
+                        vth[i] = b2 * vth[i] + (1 - b2) * g * g
+                        mhat = mth[i] / (1 - b1**step)
+                        vhat = vth[i] / (1 - b2**step)
+                        params[i] -= self.learning_rate * mhat / (np.sqrt(vhat) + eps)
+            self.loss_curve_.append(epoch_loss / n)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if not self._weights:
+            raise RuntimeError("model not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        out, _ = self._forward(self._scaler_x.transform(X))
+        return out.ravel() * self._y_scale + self._y_mean

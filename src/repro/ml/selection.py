@@ -1,0 +1,84 @@
+"""Feature selection by recursive Gini-importance elimination (Section 5.1).
+
+The paper trains the model on all collectable hardware events, repeatedly
+removes the least Gini-important event, re-trains, and stops when accuracy
+drops below the second-best model's.  We implement the full procedure and
+also record the accuracy-vs-feature-count curve, which is Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.ml.metrics import r2_score
+
+__all__ = ["EliminationStep", "recursive_importance_elimination"]
+
+
+@dataclass(frozen=True)
+class EliminationStep:
+    """One step of the elimination: which features remained and how well the
+    re-trained model scored with exactly those features."""
+
+    features: tuple[str, ...]
+    score: float
+    importances: tuple[float, ...]
+
+
+def recursive_importance_elimination(
+    model_factory: Callable[[], object],
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    feature_names: Sequence[str],
+    min_features: int = 1,
+    score_fn: Callable[[np.ndarray, np.ndarray], float] = r2_score,
+    protected: Sequence[str] = (),
+) -> list[EliminationStep]:
+    """Run the paper's elimination loop down to ``min_features``.
+
+    ``model_factory`` must build models exposing ``fit``, ``predict`` and
+    ``feature_importances_``.  Returns one step per feature count, from all
+    features down to ``min_features`` (Figure 7's x-axis, reversed).
+
+    ``protected`` names features that are structural model inputs (e.g. the
+    ``r_dram`` placement ratio) and must never be eliminated.
+    """
+    X_train = np.asarray(X_train, dtype=np.float64)
+    X_test = np.asarray(X_test, dtype=np.float64)
+    names = list(feature_names)
+    if X_train.shape[1] != len(names):
+        raise ValueError("feature_names length must match X columns")
+    if min_features < 1:
+        raise ValueError("min_features must be >= 1")
+    active = list(range(len(names)))
+    steps: list[EliminationStep] = []
+    while len(active) >= min_features:
+        model = model_factory()
+        model.fit(X_train[:, active], y_train)
+        pred = model.predict(X_test[:, active])
+        importances = np.asarray(model.feature_importances_, dtype=np.float64)
+        steps.append(
+            EliminationStep(
+                features=tuple(names[i] for i in active),
+                score=float(score_fn(y_test, pred)),
+                importances=tuple(importances),
+            )
+        )
+        if len(active) == min_features:
+            break
+        protected_set = set(protected)
+        order = np.argsort(importances, kind="stable")
+        weakest = None
+        for pos in order:
+            if names[active[int(pos)]] not in protected_set:
+                weakest = int(pos)
+                break
+        if weakest is None:  # everything left is protected
+            break
+        del active[weakest]
+    return steps

@@ -1,0 +1,29 @@
+"""Memory-profiling substrate.
+
+The paper (Sections 2 and 4) builds on three real profiling mechanisms, all
+of which observe page-level access activity with different cost/accuracy
+trade-offs.  Each gets a faithful simulated counterpart that observes the
+engine's per-page access-rate arrays through the same noisy, sampled lens:
+
+* :class:`PTESampleProfiler` -- MemoryOptimizer-style constrained random PTE
+  sampling, used on PM (cheap, noisy, task-agnostic);
+* :class:`ThermostatProfiler` -- Thermostat-style one-4KB-page-per-2MB-region
+  sampling, used on DRAM (accurate, too expensive for TB-scale PM);
+* :class:`PEBSProfiler` -- event-based sampling that attributes accesses to
+  data objects, used for the online alpha refinement;
+* :func:`top_k_hot_pages` -- hot-page detection over sampled counts.
+"""
+
+from repro.profiling.pte import PTESampleProfiler
+from repro.profiling.thermostat import ThermostatProfiler
+from repro.profiling.pebs import PEBSProfiler
+from repro.profiling.hybrid import HybridBaseProfiler
+from repro.profiling.hotpages import top_k_hot_pages
+
+__all__ = [
+    "PTESampleProfiler",
+    "ThermostatProfiler",
+    "PEBSProfiler",
+    "HybridBaseProfiler",
+    "top_k_hot_pages",
+]

@@ -1,0 +1,50 @@
+"""PEBS/IBS-style event-based sampling profiler.
+
+Section 4's runtime alpha refinement measures per-*data-object* memory access
+counts via Precise Event-Based Sampling: every Nth memory access raises a
+sample carrying its address, which is mapped back to the owning object.
+The estimate is therefore unbiased with multiplicative sampling noise.
+
+Unlike the page-table profilers, PEBS attributes samples to the running
+task, which is what makes task-semantic profiling possible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import make_rng
+from repro.tasks.task import Footprint
+
+__all__ = ["PEBSProfiler"]
+
+
+class PEBSProfiler:
+    """Samples one in ``period`` main-memory accesses of a task instance."""
+
+    def __init__(self, period: int = 1024, seed=None) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = period
+        self._rng = make_rng(seed)
+
+    def measure(self, footprint: Footprint) -> dict[str, float]:
+        """Estimated main-memory accesses per object for one instance.
+
+        The true per-object counts come from the footprint (the simulator's
+        ground truth); the profiler observes a binomial draw at rate
+        ``1/period`` scaled back up -- exactly the estimator PEBS gives.
+        Objects whose expected sample count is below ~1 may come back as 0,
+        which is the real failure mode of coarse sampling periods.
+        """
+        out: dict[str, float] = {}
+        for obj, true_count in footprint.accesses_by_object().items():
+            sampled = self._rng.binomial(true_count, 1.0 / self.period)
+            out[obj] = float(sampled) * self.period
+        return out
+
+    def overhead_fraction(self) -> float:
+        """Approximate slowdown caused by sampling: one ~300 ns micro-trap
+        per sample, amortised over ``period`` main-memory accesses of
+        ~100 ns each (PEBS only samples memory events)."""
+        return min(1.0, 300e-9 / (self.period * 100e-9))

@@ -1,0 +1,81 @@
+"""Thermostat-style DRAM profiler (Agarwal & Wenisch, ASPLOS'17).
+
+Thermostat samples one 4 KB page out of every 2 MB huge-page region and
+scales its observed access count by 512 to estimate the region's activity.
+The paper uses it on DRAM only: it is accurate and cheap at tens of GB but
+too slow for TB-scale PM (Section 4).  Merchandiser uses it to find *cold*
+DRAM pages to demote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common import PAGE_SIZE, make_rng
+from repro.sim.pages import PageTable
+
+__all__ = ["ThermostatProfiler", "RegionEstimate"]
+
+#: Pages per 2 MiB huge-page region.
+PAGES_PER_REGION: int = (2 * 1024 * 1024) // PAGE_SIZE  # 512
+
+
+@dataclass(frozen=True)
+class RegionEstimate:
+    """Estimated per-2MB-region access counts for one object."""
+
+    obj: str
+    #: first 4 KB page index of each region
+    region_starts: np.ndarray
+    #: estimated accesses per region over the interval (scaled x512)
+    estimated_accesses: np.ndarray
+
+    def coldest_regions(self, limit: int | None = None) -> np.ndarray:
+        order = np.argsort(self.estimated_accesses, kind="stable")
+        starts = self.region_starts[order]
+        return starts if limit is None else starts[:limit]
+
+
+class ThermostatProfiler:
+    """One-page-in-512 sampling over each object's DRAM-resident span."""
+
+    def __init__(self, seed=None) -> None:
+        self._rng = make_rng(seed)
+
+    def sample(
+        self,
+        page_table: PageTable,
+        access_rates: dict[str, np.ndarray],
+        interval_s: float,
+    ) -> list[RegionEstimate]:
+        """Estimate per-region access counts for every object.
+
+        For each 2 MiB-aligned region of each object, one uniformly chosen
+        4 KB page is observed (Poisson-sampled true count) and scaled by the
+        region size in pages.
+        """
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        out: list[RegionEstimate] = []
+        for obj in page_table:
+            rates = access_rates.get(obj.name)
+            n_regions = -(-obj.n_pages // PAGES_PER_REGION)
+            starts = np.arange(n_regions) * PAGES_PER_REGION
+            sizes = np.minimum(obj.n_pages - starts, PAGES_PER_REGION)
+            probe_offsets = (self._rng.random(n_regions) * sizes).astype(np.int64)
+            probes = starts + probe_offsets
+            if rates is None:
+                counts = np.zeros(n_regions)
+            else:
+                expected = rates[probes] * interval_s
+                counts = self._rng.poisson(np.maximum(expected, 0.0)).astype(np.float64)
+            out.append(
+                RegionEstimate(
+                    obj=obj.name,
+                    region_starts=starts,
+                    estimated_accesses=counts * sizes,
+                )
+            )
+        return out

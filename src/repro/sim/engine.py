@@ -1,0 +1,401 @@
+"""Virtual-time execution engine.
+
+The engine runs a :class:`~repro.tasks.task.Workload` region by region under
+a :class:`PlacementPolicy`.  Within a region it advances all task instances
+in small virtual-time ticks:
+
+* each tick, every unfinished instance's instantaneous execution time is
+  computed from the ground-truth machine model and the *current* placement
+  (page migrations mid-region change an instance's speed mid-flight);
+* per-tier bandwidth demand is aggregated across instances and migration
+  traffic; if it exceeds the tier's capability, progress is scaled back
+  (bandwidth contention);
+* the placement policy's ``on_tick`` hook may request page migrations,
+  throttled to a configurable fraction of PM bandwidth;
+* the region's barrier releases when every instance reaches progress 1;
+  per-task busy and barrier-wait times are recorded (Figure 5's data).
+
+All time is virtual; nothing depends on the wall clock, and the only
+randomness comes from the seeded generator in :class:`EngineContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.common import PAGE_SIZE, make_rng
+from repro.sim.machine import MachineModel, TimeBreakdown
+from repro.sim.memspec import HMConfig
+from repro.sim.pages import MigrationBatch, PageTable
+from repro.tasks.task import ParallelRegion, TaskInstanceSpec, Workload
+
+__all__ = [
+    "EngineConfig",
+    "EngineContext",
+    "PlacementPolicy",
+    "RegionResult",
+    "RunResult",
+    "Engine",
+]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine tuning knobs."""
+
+    #: Target number of ticks across the fastest instance of a region;
+    #: controls the time resolution of contention and migration.
+    ticks_per_instance: int = 60
+    #: Hard cap on ticks per region (runaway guard).
+    max_ticks_per_region: int = 50_000
+    #: Fraction of PM read bandwidth migrations may consume per tick.
+    migration_bandwidth_fraction: float = 0.25
+    #: Record the per-tick bandwidth trace (Figure 6) when True.
+    record_bandwidth: bool = True
+
+
+class EngineContext:
+    """Mutable state the engine shares with the placement policy."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        page_table: PageTable,
+        machine: MachineModel,
+        hm: HMConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.workload = workload
+        self.page_table = page_table
+        self.machine = machine
+        self.hm = hm
+        self.rng = rng
+        self.time = 0.0
+        self.region: ParallelRegion | None = None
+        self.region_index = -1
+        #: instance progress in [0, 1] by task id (current region)
+        self.progress: dict[str, float] = {}
+        #: latest instantaneous execution-time estimate by task id
+        self.instance_times: dict[str, float] = {}
+        self.pages_migrated = 0
+        self.migration_overhead_s = 0.0
+        #: pages the engine will accept per tick (set each region from the
+        #: migration bandwidth budget); policies should not request more
+        self.migration_budget_pages = 1
+
+    # -- helpers policies rely on --------------------------------------
+    def dram_fractions(self) -> dict[str, float]:
+        """Current per-object access-weighted DRAM fractions."""
+        return self.page_table.access_fractions()
+
+    def active_instances(self) -> list[TaskInstanceSpec]:
+        assert self.region is not None
+        return [
+            inst
+            for inst in self.region.instances
+            if self.progress.get(inst.task_id, 0.0) < 1.0
+        ]
+
+    def page_access_rates(self) -> dict[str, np.ndarray]:
+        """Per-page main-memory access rates (accesses/second), summed over
+        the region's active instances.
+
+        This is what the sampling profilers observe: address-level hotness
+        with no task attribution unless a profiler adds it.
+        """
+        rates: dict[str, np.ndarray] = {}
+        for inst in self.active_instances():
+            t = max(self.instance_times.get(inst.task_id, 0.0), 1e-12)
+            for acc in inst.footprint.accesses:
+                obj = self.page_table.object(acc.obj)
+                per_obj = acc.total / t
+                if acc.obj in rates:
+                    rates[acc.obj] = rates[acc.obj] + obj.weight * per_obj
+                else:
+                    rates[acc.obj] = obj.weight * per_obj
+        return rates
+
+
+class PlacementPolicy:
+    """Base class for data-placement policies (baselines and Merchandiser).
+
+    Policies may mutate residency directly in the start hooks (initial
+    placement) and must route mid-run movement through ``on_tick``'s
+    :class:`MigrationBatch` return so the engine can charge bandwidth.
+    """
+
+    name = "policy"
+
+    def on_workload_start(self, ctx: EngineContext) -> None:  # pragma: no cover
+        """Called once before the first region."""
+
+    def on_region_start(self, ctx: EngineContext) -> None:  # pragma: no cover
+        """Called when a region's tasks become known, before they start."""
+
+    def on_tick(self, ctx: EngineContext, dt: float) -> MigrationBatch | None:
+        """Called every tick; return page moves to perform (or None)."""
+        return None
+
+    def on_region_end(self, ctx: EngineContext) -> None:  # pragma: no cover
+        """Called after the region's barrier releases."""
+
+
+@dataclass
+class RegionResult:
+    """Per-region outcome: when each task finished and how long it worked."""
+
+    name: str
+    start_s: float
+    end_s: float
+    #: task id -> time the task was busy executing (its own work)
+    busy_s: dict[str, float] = field(default_factory=dict)
+    #: task id -> time spent waiting at the barrier for slower tasks
+    wait_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class RunResult:
+    """Complete outcome of one engine run."""
+
+    policy: str
+    workload: str
+    total_time_s: float
+    regions: list[RegionResult]
+    pages_migrated: int
+    #: bandwidth trace: times plus per-tier bytes/second, one row per tick
+    trace_time: np.ndarray
+    trace_dram_bw: np.ndarray
+    trace_pm_bw: np.ndarray
+    trace_migration_bw: np.ndarray
+
+    def task_busy_times(self) -> dict[str, float]:
+        """Total busy time per task across all regions (Figure 5's metric)."""
+        out: dict[str, float] = {}
+        for region in self.regions:
+            for task, busy in region.busy_s.items():
+                out[task] = out.get(task, 0.0) + busy
+        return out
+
+    def task_wait_times(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for region in self.regions:
+            for task, wait in region.wait_s.items():
+                out[task] = out.get(task, 0.0) + wait
+        return out
+
+    def mean_dram_bandwidth(self) -> float:
+        """Time-averaged DRAM bandwidth (bytes/s) over the run."""
+        if len(self.trace_time) == 0:
+            return 0.0
+        return float(np.mean(self.trace_dram_bw))
+
+    def mean_pm_bandwidth(self) -> float:
+        if len(self.trace_time) == 0:
+            return 0.0
+        return float(np.mean(self.trace_pm_bw))
+
+
+class Engine:
+    """Runs workloads on the simulated heterogeneous-memory node."""
+
+    def __init__(
+        self,
+        machine: MachineModel | None = None,
+        hm: HMConfig | None = None,
+        config: EngineConfig | None = None,
+    ) -> None:
+        from repro.sim.memspec import optane_hm_config
+
+        self.machine = machine or MachineModel()
+        self.hm = hm or optane_hm_config()
+        self.config = config or EngineConfig()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: Workload,
+        policy: PlacementPolicy,
+        seed=0,
+        page_table: PageTable | None = None,
+    ) -> RunResult:
+        """Execute ``workload`` under ``policy`` and return the result."""
+        rng = make_rng(seed)
+        if page_table is None:
+            page_table = PageTable(
+                workload.objects, self.hm.dram.capacity_bytes, rng=rng
+            )
+        ctx = EngineContext(workload, page_table, self.machine, self.hm, rng)
+        policy.on_workload_start(ctx)
+
+        regions: list[RegionResult] = []
+        trace_t: list[float] = []
+        trace_d: list[float] = []
+        trace_p: list[float] = []
+        trace_m: list[float] = []
+
+        for idx, region in enumerate(workload.regions):
+            ctx.region = region
+            ctx.region_index = idx
+            ctx.progress = {inst.task_id: 0.0 for inst in region.instances}
+            self._refresh_times(ctx)
+            policy.on_region_start(ctx)
+            self._refresh_times(ctx)
+
+            result = self._run_region(ctx, policy, trace_t, trace_d, trace_p, trace_m)
+            regions.append(result)
+            policy.on_region_end(ctx)
+
+        return RunResult(
+            policy=policy.name,
+            workload=workload.name,
+            total_time_s=ctx.time,
+            regions=regions,
+            pages_migrated=ctx.pages_migrated,
+            trace_time=np.asarray(trace_t),
+            trace_dram_bw=np.asarray(trace_d),
+            trace_pm_bw=np.asarray(trace_p),
+            trace_migration_bw=np.asarray(trace_m),
+        )
+
+    # ------------------------------------------------------------------
+    def _refresh_times(self, ctx: EngineContext) -> None:
+        fractions = ctx.dram_fractions()
+        assert ctx.region is not None
+        for inst in ctx.region.instances:
+            ctx.instance_times[inst.task_id] = self.machine.instance_time(
+                inst.footprint, self.hm, fractions
+            )
+
+    # ------------------------------------------------------------------
+    def _run_region(
+        self,
+        ctx: EngineContext,
+        policy: PlacementPolicy,
+        trace_t: list[float],
+        trace_d: list[float],
+        trace_p: list[float],
+        trace_m: list[float],
+    ) -> RegionResult:
+        cfg = self.config
+        region = ctx.region
+        assert region is not None
+        start = ctx.time
+        finish: dict[str, float] = {}
+
+        # tick size tracks the slowest instance: the region lives that long,
+        # and short instances complete mid-tick via interpolation.  Tying dt
+        # to the fastest instance would shrink ticks (and per-tick migration
+        # budgets) arbitrarily under heavy skew.
+        max_t = max(ctx.instance_times[i.task_id] for i in region.instances)
+        dt = max(max_t / cfg.ticks_per_instance, 1e-9)
+        mig_budget_bytes = cfg.migration_bandwidth_fraction * self.hm.pm.read_bandwidth * dt
+        ctx.migration_budget_pages = max(1, int(mig_budget_bytes // PAGE_SIZE))
+
+        ticks = 0
+        while len(finish) < len(region.instances):
+            ticks += 1
+            if ticks > cfg.max_ticks_per_region:
+                raise RuntimeError(
+                    f"region {region.name!r} exceeded {cfg.max_ticks_per_region} ticks"
+                )
+            fractions = ctx.dram_fractions()
+            active = ctx.active_instances()
+
+            # phase 1: unconstrained progress and per-tier byte demand
+            dprog: dict[str, float] = {}
+            bds: dict[str, TimeBreakdown] = {}
+            demand_dram = 0.0
+            demand_pm = 0.0
+            for inst in active:
+                bd = self.machine.breakdown(inst.footprint, self.hm, fractions)
+                bds[inst.task_id] = bd
+                ctx.instance_times[inst.task_id] = bd.total_s
+                d = dt / max(bd.total_s, 1e-12)
+                dprog[inst.task_id] = d
+                demand_dram += d * bd.dram_bytes
+                demand_pm += d * bd.pm_bytes
+
+            # phase 2: bandwidth contention scaling per tier
+            cap_dram = self.hm.dram.read_bandwidth * dt
+            cap_pm = self.hm.pm.read_bandwidth * dt
+            s_dram = min(1.0, cap_dram / demand_dram) if demand_dram > 0 else 1.0
+            s_pm = min(1.0, cap_pm / demand_pm) if demand_pm > 0 else 1.0
+
+            tick_dram_bytes = 0.0
+            tick_pm_bytes = 0.0
+            for inst in active:
+                bd = bds[inst.task_id]
+                total_bytes = bd.dram_bytes + bd.pm_bytes
+                if total_bytes > 0:
+                    w_d = bd.dram_bytes / total_bytes
+                    scale = w_d * s_dram + (1.0 - w_d) * s_pm
+                else:
+                    scale = 1.0
+                step = dprog[inst.task_id] * scale
+                prev = ctx.progress[inst.task_id]
+                new = prev + step
+                if new >= 1.0:
+                    # interpolate the exact finish instant inside the tick
+                    frac = (1.0 - prev) / max(step, 1e-15)
+                    finish[inst.task_id] = ctx.time + frac * dt
+                    new = 1.0
+                ctx.progress[inst.task_id] = new
+                done = new - prev
+                # bd.*_bytes are whole-instance totals; this tick moved the
+                # completed fraction of them
+                tick_dram_bytes += done * bd.dram_bytes
+                tick_pm_bytes += done * bd.pm_bytes
+
+            # phase 3: policy-driven migration, throttled by bandwidth
+            batch = policy.on_tick(ctx, dt)
+            mig_bytes = 0.0
+            if batch is not None and batch.n_pages > 0:
+                max_pages = max(1, int(mig_budget_bytes // PAGE_SIZE))
+                batch = _clamp_batch(batch, max_pages)
+                moved = ctx.page_table.apply_batch(batch)
+                ctx.pages_migrated += moved
+                mig_bytes = moved * PAGE_SIZE
+                ctx.migration_overhead_s += moved * self.hm.page_migration_overhead_s
+                # migration reads PM and writes DRAM (promotions) or the
+                # reverse; charge both tiers the full copy traffic
+                tick_pm_bytes += mig_bytes
+                tick_dram_bytes += mig_bytes
+
+            if cfg.record_bandwidth:
+                trace_t.append(ctx.time)
+                trace_d.append(tick_dram_bytes / dt)
+                trace_p.append(tick_pm_bytes / dt)
+                trace_m.append(mig_bytes / dt)
+
+            ctx.time += dt
+
+        # the barrier releases at the last finish time; snap region end there
+        end = max(finish.values())
+        ctx.time = end
+        busy = {t: finish[t] - start for t in finish}
+        wait = {t: end - finish[t] for t in finish}
+        return RegionResult(
+            name=region.name, start_s=start, end_s=end, busy_s=busy, wait_s=wait
+        )
+
+
+def _clamp_batch(batch: MigrationBatch, max_pages: int) -> MigrationBatch:
+    """Limit a batch to ``max_pages`` promotions+demotions (keep order)."""
+    if batch.n_pages <= max_pages:
+        return batch
+    moves: list[tuple[str, np.ndarray, bool]] = []
+    left = max_pages
+    for name, idx, promote in batch.moves:
+        if left <= 0:
+            break
+        take = idx[:left]
+        moves.append((name, take, promote))
+        left -= len(take)
+    return MigrationBatch(moves=tuple(moves))

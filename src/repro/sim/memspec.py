@@ -1,0 +1,167 @@
+"""Memory-tier specifications.
+
+The performance asymmetries come straight from Section 2 of the paper
+(Optane PM 100 series vs DDR4 DRAM):
+
+* PM sequential-read latency is 2.08x DRAM's; random-read latency 3.77x;
+* PM read bandwidth is 3.87x lower than DRAM's, write bandwidth 4.74x lower;
+* the evaluation platform has 192 GB DRAM and 1.5 TB PM;
+* Figure 6 shows peak bandwidths of ~180 GB/s (DRAM) and ~52 GB/s (PM).
+
+Capacities and bandwidths are scaled by a common ``scale`` factor (default
+1/1024: MiB instead of GiB) so simulated footprints stay laptop-sized while
+execution times keep the paper's magnitudes.  Scaling consistency: a
+bandwidth-bound phase takes ``traffic*s / (bw*s)`` -- unchanged -- while a
+latency-bound phase takes ``accesses*s * latency``, so per-access latencies
+are scaled *up* by ``1/s`` (and the machine model scales CPU frequency down
+by ``s``).  With all three applied, every simulated time equals what the
+unscaled system would produce, and the latency-vs-bandwidth balance of real
+Optane (random access latency-bound at a few % of bandwidth, streams
+bandwidth-bound) is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import GIB, PAGE_SIZE
+
+__all__ = [
+    "TierSpec",
+    "HMConfig",
+    "optane_hm_config",
+    "cxl_hm_config",
+    "DEFAULT_SCALE",
+]
+
+#: Default footprint scale relative to the paper's platform (1/1024).
+DEFAULT_SCALE: float = 1.0 / 1024.0
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One memory tier (DRAM or PM).
+
+    Latencies are nanoseconds per cache-line access; bandwidths are bytes per
+    (virtual) second.
+    """
+
+    name: str
+    capacity_bytes: int
+    seq_read_latency_ns: float
+    rand_read_latency_ns: float
+    read_bandwidth: float
+    write_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < PAGE_SIZE:
+            raise ValueError(f"tier {self.name!r} smaller than one page")
+        for attr in (
+            "seq_read_latency_ns",
+            "rand_read_latency_ns",
+            "read_bandwidth",
+            "write_bandwidth",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"tier {self.name!r}: {attr} must be positive")
+
+    @property
+    def n_pages(self) -> int:
+        return self.capacity_bytes // PAGE_SIZE
+
+    def latency_ns(self, random: bool) -> float:
+        return self.rand_read_latency_ns if random else self.seq_read_latency_ns
+
+
+@dataclass(frozen=True)
+class HMConfig:
+    """A two-tier heterogeneous memory system (fast DRAM + slow PM)."""
+
+    dram: TierSpec
+    pm: TierSpec
+    #: Fixed software cost of migrating one page, seconds (syscall + PTE
+    #: update + TLB shootdown); the data copy itself is charged to bandwidth.
+    page_migration_overhead_s: float = 2.0e-6
+
+    def __post_init__(self) -> None:
+        if self.page_migration_overhead_s < 0:
+            raise ValueError("migration overhead must be non-negative")
+
+    @property
+    def dram_fraction_of_total(self) -> float:
+        total = self.dram.capacity_bytes + self.pm.capacity_bytes
+        return self.dram.capacity_bytes / total
+
+    def tier(self, name: str) -> TierSpec:
+        if name == self.dram.name:
+            return self.dram
+        if name == self.pm.name:
+            return self.pm
+        raise KeyError(name)
+
+
+def optane_hm_config(scale: float = DEFAULT_SCALE) -> HMConfig:
+    """The paper's evaluation platform, scaled by ``scale``.
+
+    With the default scale the system has 192 MiB DRAM and 1.5 GiB PM, and
+    bandwidths of 180/52 MB-per-virtual-second -- the same capacity ratio and
+    tier asymmetry as the real machine, so placement trade-offs (and the
+    resulting execution-time *shapes*) are preserved.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    dram_read_bw = 180.0 * GIB * scale
+    dram_write_bw = 120.0 * GIB * scale
+    lat = 1.0 / scale  # latency counter-scaling, see module docstring
+    dram = TierSpec(
+        name="dram",
+        capacity_bytes=int(192 * GIB * scale),
+        seq_read_latency_ns=81.0 * lat,
+        rand_read_latency_ns=101.0 * lat,
+        read_bandwidth=dram_read_bw,
+        write_bandwidth=dram_write_bw,
+    )
+    pm = TierSpec(
+        name="pm",
+        capacity_bytes=int(1536 * GIB * scale),
+        seq_read_latency_ns=81.0 * 2.08 * lat,
+        rand_read_latency_ns=101.0 * 3.77 * lat,
+        read_bandwidth=dram_read_bw / 3.87,
+        write_bandwidth=dram_write_bw / 4.74,
+    )
+    return HMConfig(dram=dram, pm=pm)
+
+
+def cxl_hm_config(scale: float = DEFAULT_SCALE) -> HMConfig:
+    """A CXL-attached-memory heterogeneous system (Section 2 names CXL as
+    the emerging HM trend; Section 5.3's extensibility workflow retargets
+    Merchandiser to systems like this one).
+
+    CXL.mem expanders add roughly one NUMA hop of latency (~2.2x local
+    DRAM, and unlike Optane with little sequential/random asymmetry) and
+    deliver about half the local bandwidth, with symmetric reads/writes --
+    a very different trade-off surface from Optane, which is what makes
+    retraining the correlation function necessary.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    lat = 1.0 / scale
+    dram_read_bw = 180.0 * GIB * scale
+    dram_write_bw = 120.0 * GIB * scale
+    dram = TierSpec(
+        name="dram",
+        capacity_bytes=int(192 * GIB * scale),
+        seq_read_latency_ns=81.0 * lat,
+        rand_read_latency_ns=101.0 * lat,
+        read_bandwidth=dram_read_bw,
+        write_bandwidth=dram_write_bw,
+    )
+    cxl = TierSpec(
+        name="pm",  # the slow tier keeps the canonical name for policies
+        capacity_bytes=int(1024 * GIB * scale),
+        seq_read_latency_ns=81.0 * 2.2 * lat,
+        rand_read_latency_ns=101.0 * 2.2 * lat,
+        read_bandwidth=dram_read_bw / 2.0,
+        write_bandwidth=dram_write_bw / 2.0,
+    )
+    return HMConfig(dram=dram, pm=cxl)

@@ -1,0 +1,251 @@
+"""Page tables with per-page popularity and fractional DRAM residency.
+
+Each managed :class:`~repro.tasks.task.DataObject` becomes a
+:class:`PagedObject`: a vector of per-page access weights (how the object's
+main-memory accesses distribute over its pages) plus a vector of DRAM
+residency in ``[0, 1]`` per page.
+
+Residency is *fractional* so that both software placement (pages are fully in
+one tier: residency 0 or 1) and Memory Mode's hardware cache (a page is
+resident for whatever fraction of its accesses hit the direct-mapped DRAM
+cache) flow through the same accounting.  The task-level quantity everything
+downstream consumes is the access-weighted DRAM fraction
+(:meth:`PagedObject.dram_access_fraction`), the paper's ``r_dram_acc``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.common import PAGE_SIZE, make_rng, zipf_weights
+from repro.tasks.task import DataObject
+
+__all__ = ["PagedObject", "PageTable", "MigrationBatch"]
+
+
+class PagedObject:
+    """Pages of one data object.
+
+    Attributes
+    ----------
+    weight:
+        Per-page fraction of the object's main-memory accesses (sums to 1).
+    residency:
+        Per-page DRAM residency in ``[0, 1]``.
+    """
+
+    __slots__ = ("spec", "n_pages", "weight", "residency")
+
+    #: cache lines per page: element-level popularity is averaged over this
+    #: many draws per page, because a 4 KiB page mixes hot and cold lines
+    LINES_PER_PAGE = 64
+
+    def __init__(self, spec: DataObject, rng=None) -> None:
+        self.spec = spec
+        self.n_pages = spec.n_pages
+        if spec.hotness == "zipf":
+            # Zipf popularity lives at cache-line granularity; page-level
+            # hotness is the sum of the page's line weights.  Drawing Zipf
+            # directly per page would overstate page skew by ~64x and make
+            # hardware caching look far better than it is.
+            lines = zipf_weights(
+                self.n_pages * self.LINES_PER_PAGE, spec.zipf_s, rng=make_rng(rng)
+            )
+            self.weight = lines.reshape(self.n_pages, self.LINES_PER_PAGE).sum(axis=1)
+            self.weight /= self.weight.sum()
+        else:
+            self.weight = np.full(self.n_pages, 1.0 / self.n_pages)
+        self.residency = np.zeros(self.n_pages, dtype=np.float64)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def owner(self) -> str | None:
+        return self.spec.owner
+
+    def dram_pages(self) -> float:
+        """Equivalent number of pages resident in DRAM."""
+        return float(self.residency.sum())
+
+    def dram_bytes(self) -> float:
+        return self.dram_pages() * PAGE_SIZE
+
+    def dram_access_fraction(self) -> float:
+        """Access-weighted fraction of this object served from DRAM."""
+        return float(self.weight @ self.residency)
+
+    def set_residency(self, value: float | np.ndarray) -> None:
+        """Set residency for every page (scalar broadcast or full vector)."""
+        arr = np.asarray(value, dtype=np.float64)
+        if arr.ndim == 0:
+            self.residency[:] = float(arr)
+        else:
+            if arr.shape != (self.n_pages,):
+                raise ValueError("residency vector has wrong length")
+            self.residency[:] = arr
+        if (self.residency < -1e-12).any() or (self.residency > 1 + 1e-12).any():
+            raise ValueError("residency must be within [0, 1]")
+        np.clip(self.residency, 0.0, 1.0, out=self.residency)
+
+    def hottest_pm_pages(self, limit: int | None = None) -> np.ndarray:
+        """Indices of pages not yet (fully) in DRAM, hottest first."""
+        candidates = np.flatnonzero(self.residency < 1.0 - 1e-12)
+        order = np.argsort(self.weight[candidates])[::-1]
+        idx = candidates[order]
+        return idx if limit is None else idx[:limit]
+
+    def coldest_dram_pages(self, limit: int | None = None) -> np.ndarray:
+        """Indices of pages (partially) in DRAM, coldest first."""
+        candidates = np.flatnonzero(self.residency > 1e-12)
+        order = np.argsort(self.weight[candidates])
+        idx = candidates[order]
+        return idx if limit is None else idx[:limit]
+
+
+@dataclass(frozen=True)
+class MigrationBatch:
+    """A set of page moves requested by a placement policy for one tick."""
+
+    #: (object name, page indices, promote?) triples.  ``promote=True`` moves
+    #: pages PM->DRAM; ``False`` demotes them DRAM->PM.
+    moves: tuple[tuple[str, np.ndarray, bool], ...]
+
+    @property
+    def n_pages(self) -> int:
+        return int(sum(len(idx) for _, idx, _ in self.moves))
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.n_pages * PAGE_SIZE
+
+
+class PageTable:
+    """All paged objects of a workload plus DRAM capacity accounting."""
+
+    def __init__(
+        self,
+        objects: Iterable[DataObject],
+        dram_capacity_bytes: int,
+        rng=None,
+    ) -> None:
+        rng = make_rng(rng)
+        self._objects: dict[str, PagedObject] = {}
+        for spec in objects:
+            if spec.name in self._objects:
+                raise ValueError(f"duplicate object {spec.name!r}")
+            self._objects[spec.name] = PagedObject(spec, rng=rng)
+        if dram_capacity_bytes < 0:
+            raise ValueError("DRAM capacity must be non-negative")
+        self.dram_capacity_bytes = dram_capacity_bytes
+
+    def __iter__(self) -> Iterator[PagedObject]:
+        return iter(self._objects.values())
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._objects
+
+    def object(self, name: str) -> PagedObject:
+        return self._objects[name]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._objects)
+
+    @property
+    def total_pages(self) -> int:
+        return sum(o.n_pages for o in self)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(o.spec.size_bytes for o in self)
+
+    def dram_used_bytes(self) -> float:
+        return sum(o.dram_bytes() for o in self)
+
+    def dram_free_bytes(self) -> float:
+        return self.dram_capacity_bytes - self.dram_used_bytes()
+
+    def dram_free_pages(self) -> int:
+        return int(self.dram_free_bytes() // PAGE_SIZE)
+
+    def place_all(self, residency: float) -> None:
+        """Blanket placement: residency for every page of every object.
+
+        Raises if the result would not fit in DRAM (used by the DRAM-only
+        baseline, which requires the footprint to fit).
+        """
+        need = residency * self.total_bytes
+        if need > self.dram_capacity_bytes + PAGE_SIZE:
+            raise ValueError(
+                f"placement needs {need:.0f} B of DRAM, "
+                f"capacity is {self.dram_capacity_bytes} B"
+            )
+        for obj in self:
+            obj.set_residency(residency)
+
+    def apply_batch(self, batch: MigrationBatch) -> int:
+        """Apply a migration batch, clamping promotions to free DRAM.
+
+        Returns the number of pages actually moved.  Demotions are applied
+        first so a batch can express swap traffic (demote cold, promote hot)
+        without transiently exceeding capacity.
+        """
+        moved = 0
+        for name, idx, promote in batch.moves:
+            if promote:
+                continue
+            obj = self.object(name)
+            sel = idx[obj.residency[idx] > 1e-12]
+            obj.residency[sel] = 0.0
+            moved += len(sel)
+        for name, idx, promote in batch.moves:
+            if not promote:
+                continue
+            obj = self.object(name)
+            sel = idx[obj.residency[idx] < 1.0 - 1e-12]
+            free = self.dram_free_pages()
+            if free <= 0:
+                continue
+            sel = sel[:free]
+            obj.residency[sel] = 1.0
+            moved += len(sel)
+        return moved
+
+    def access_fractions(self) -> dict[str, float]:
+        """Per-object access-weighted DRAM fractions (``r_dram`` inputs)."""
+        return {o.name: o.dram_access_fraction() for o in self}
+
+    def sample_pages(
+        self, n: int, rng=None, weights: Mapping[str, np.ndarray] | None = None
+    ) -> list[tuple[str, np.ndarray]]:
+        """Uniformly sample ``n`` pages across the whole space.
+
+        This is the application-agnostic random page sampling that the paper
+        identifies as a root cause of load imbalance: it knows nothing about
+        tasks, only addresses.  Returns per-object arrays of sampled page
+        indices (with multiplicity).
+        """
+        rng = make_rng(rng)
+        names = self.names
+        sizes = np.array([self.object(nm).n_pages for nm in names])
+        total = sizes.sum()
+        if total == 0 or n <= 0:
+            return []
+        picks = rng.integers(0, total, size=n)
+        bounds = np.cumsum(sizes)
+        which = np.searchsorted(bounds, picks, side="right")
+        out: list[tuple[str, np.ndarray]] = []
+        for i, nm in enumerate(names):
+            mask = which == i
+            if mask.any():
+                start = bounds[i] - sizes[i]
+                out.append((nm, picks[mask] - start))
+        return out

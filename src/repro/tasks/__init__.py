@@ -1,0 +1,31 @@
+"""Task-parallel programming substrate (Section 2 of the paper).
+
+A task-parallel HPC application is modelled as a :class:`Workload`: a list of
+:class:`DataObject` declarations plus a sequence of barrier-separated
+:class:`ParallelRegion` s, each containing one :class:`TaskInstanceSpec` per
+task.  MPI-style (process-per-task) and OpenMP-style (thread-per-task)
+front-ends build the same structures.
+"""
+
+from repro.tasks.task import (
+    DataObject,
+    Footprint,
+    KernelProfile,
+    ObjectAccess,
+    ParallelRegion,
+    TaskInstanceSpec,
+    Workload,
+)
+from repro.tasks.frontends import MPIProgram, OpenMPProgram
+
+__all__ = [
+    "DataObject",
+    "ObjectAccess",
+    "KernelProfile",
+    "Footprint",
+    "TaskInstanceSpec",
+    "ParallelRegion",
+    "Workload",
+    "MPIProgram",
+    "OpenMPProgram",
+]

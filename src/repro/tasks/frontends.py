@@ -1,0 +1,125 @@
+"""MPI-like and OpenMP-like front-ends for building workloads.
+
+The paper studies both MPI-based applications (each MPI process performs a
+task, Figure 1.a) and OpenMP-based ones (each thread in a parallel region
+performs a task, Figure 1.b).  Both reduce to the same barrier-synchronised
+:class:`~repro.tasks.task.Workload`; these front-ends give applications the
+familiar vocabulary (ranks, thread teams) and enforce its conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.tasks.task import (
+    DataObject,
+    Footprint,
+    ParallelRegion,
+    TaskInstanceSpec,
+    Workload,
+)
+
+__all__ = ["MPIProgram", "OpenMPProgram"]
+
+
+class _ProgramBase:
+    """Shared builder machinery for both front-ends."""
+
+    def __init__(self, name: str, n_tasks: int, task_prefix: str) -> None:
+        if n_tasks <= 0:
+            raise ValueError("need at least one task")
+        self.name = name
+        self.n_tasks = n_tasks
+        self._task_prefix = task_prefix
+        self._objects: list[DataObject] = []
+        self._regions: list[ParallelRegion] = []
+
+    def task_id(self, index: int) -> str:
+        """Canonical task id for a rank/thread index."""
+        if not 0 <= index < self.n_tasks:
+            raise IndexError(f"task index {index} out of range 0..{self.n_tasks - 1}")
+        return f"{self._task_prefix}{index}"
+
+    @property
+    def task_ids(self) -> tuple[str, ...]:
+        return tuple(self.task_id(i) for i in range(self.n_tasks))
+
+    def declare_object(self, obj: DataObject) -> DataObject:
+        """Register a data object (the LB_HM_config analogue happens later,
+        in :func:`repro.core.api.lb_hm_config`)."""
+        if any(o.name == obj.name for o in self._objects):
+            raise ValueError(f"object {obj.name!r} declared twice")
+        self._objects.append(obj)
+        return obj
+
+    def parallel_region(
+        self,
+        name: str,
+        footprints: Sequence[Footprint],
+        input_vectors: Sequence[Sequence[float]] | None = None,
+        kind: str = "",
+    ) -> ParallelRegion:
+        """Add a barrier-terminated region with one instance per task.
+
+        ``footprints[i]`` is executed by task ``i``; the implicit barrier at
+        the end of the region is what couples the tasks' completion times.
+        """
+        if len(footprints) != self.n_tasks:
+            raise ValueError(
+                f"region {name!r}: expected {self.n_tasks} footprints, "
+                f"got {len(footprints)}"
+            )
+        if input_vectors is None:
+            input_vectors = [()] * self.n_tasks
+        if len(input_vectors) != self.n_tasks:
+            raise ValueError("one input vector per task required")
+        instances = tuple(
+            TaskInstanceSpec(
+                task_id=self.task_id(i),
+                footprint=fp,
+                input_vector=tuple(float(v) for v in vec),
+            )
+            for i, (fp, vec) in enumerate(zip(footprints, input_vectors))
+        )
+        region = ParallelRegion(name=name, instances=instances, kind=kind)
+        self._regions.append(region)
+        return region
+
+    def build(self) -> Workload:
+        """Finalise into an immutable :class:`Workload`."""
+        if not self._regions:
+            raise ValueError(f"program {self.name!r} has no parallel regions")
+        return Workload(
+            name=self.name,
+            objects=tuple(self._objects),
+            regions=tuple(self._regions),
+        )
+
+
+class MPIProgram(_ProgramBase):
+    """MPI-style program: one long-lived task per rank (Figure 1.a).
+
+    Each iteration of the application's outer loop (a DMRG sweep, say)
+    becomes one parallel region; the global synchronisation at the end of the
+    iteration is the region barrier.
+    """
+
+    def __init__(self, name: str, n_ranks: int) -> None:
+        super().__init__(name, n_ranks, task_prefix="rank")
+
+    @property
+    def n_ranks(self) -> int:
+        return self.n_tasks
+
+
+class OpenMPProgram(_ProgramBase):
+    """OpenMP-style program: one task per thread in each parallel region
+    (Figure 1.b); the implicit barrier at the region end synchronises them."""
+
+    def __init__(self, name: str, n_threads: int) -> None:
+        super().__init__(name, n_threads, task_prefix="thread")
+
+    @property
+    def n_threads(self) -> int:
+        return self.n_tasks

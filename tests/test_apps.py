@@ -1,0 +1,282 @@
+"""Tests for the five applications: real kernels + workload builders."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.apps import ALL_APPS, BFSApp, DMRGApp, NWChemTCApp, SpGEMMApp, WarpXApp
+from repro.apps.bfs import bfs_levels, partition_vertices
+from repro.apps.dmrg import davidson_sweep
+from repro.apps.nwchem_tc import TC_PHASES, contract_tiles
+from repro.apps.spgemm import bin_rows, spgemm_numeric, spgemm_symbolic
+from repro.apps.synth import beam_density, rmat_graph, rmat_matrix, uneven_partition
+from repro.apps.warpx import pic_step
+from repro.common import AccessPattern, make_rng
+
+PAPER_PATTERNS = {
+    "SpGEMM": {"stream", "random"},
+    "WarpX": {"strided", "stencil"},
+    "BFS": {"stream", "random"},
+    "DMRG": {"stream", "strided"},
+    "NWChem-TC": {"stream", "random"},
+}
+
+
+class TestSynth:
+    def test_rmat_shape_and_nnz(self):
+        m = rmat_matrix(8, 8, seed=0)
+        assert m.shape == (256, 256)
+        assert 0 < m.nnz <= 256 * 8
+
+    def test_rmat_power_law_skew(self):
+        m = rmat_matrix(10, 16, seed=0)
+        deg = np.diff(m.indptr)
+        assert deg.max() > 10 * max(np.median(deg), 1)
+
+    def test_rmat_deterministic(self):
+        a = rmat_matrix(6, 4, seed=3)
+        b = rmat_matrix(6, 4, seed=3)
+        assert (a != b).nnz == 0
+
+    def test_rmat_graph_symmetric_no_loops(self):
+        g = rmat_graph(7, seed=1)
+        assert (g != g.T).nnz == 0
+        assert g.diagonal().sum() == 0
+
+    def test_rmat_validation(self):
+        with pytest.raises(ValueError):
+            rmat_matrix(1)
+        with pytest.raises(ValueError):
+            rmat_matrix(8, a=0.5, b=0.3, c=0.3)
+
+    def test_beam_density_total_preserved_roughly(self):
+        counts = beam_density(8, 10_000, seed=0)
+        assert counts.sum() == pytest.approx(10_000, rel=0.1)
+        assert (counts > 0).all()
+
+    def test_beam_density_core_heavier(self):
+        counts = beam_density(9, 100_000, spread=0.2, seed=0)
+        assert counts[4] > counts[0]
+
+    def test_uneven_partition_sums(self):
+        parts = uneven_partition(1000, 7, skew=1.0, seed=0)
+        assert parts.sum() >= 1000
+        assert len(parts) == 7
+
+    def test_uneven_partition_zero_skew_equal(self):
+        parts = uneven_partition(700, 7, skew=0.0, seed=0)
+        assert parts.max() - parts.min() <= 1
+
+    def test_uneven_partition_validation(self):
+        with pytest.raises(ValueError):
+            uneven_partition(5, 10, 0.5)
+
+
+class TestSpGEMMKernel:
+    def test_matches_scipy(self):
+        A = rmat_matrix(7, 6, seed=2)
+        A.data[:] = make_rng(0).random(A.nnz) + 0.5
+        B = A.T.tocsr()
+        bins = bin_rows(A, 3)
+        out = [spgemm_numeric(A, B, b).toarray() for b in bins]
+        np.testing.assert_allclose(np.vstack(out), (A @ B).toarray(), rtol=1e-10)
+
+    def test_symbolic_matches_numeric_nnz(self):
+        A = rmat_matrix(6, 4, seed=1)
+        B = A.T.tocsr()
+        rows = np.arange(A.shape[0])
+        nnz = spgemm_symbolic(A, B, rows)
+        C = spgemm_numeric(A, B, rows)
+        np.testing.assert_array_equal(nnz, np.diff(C.indptr))
+
+    def test_empty_rows_handled(self):
+        A = sparse.csr_matrix((4, 4))
+        B = sparse.csr_matrix((4, 4))
+        rows = np.arange(4)
+        assert spgemm_symbolic(A, B, rows).sum() == 0
+        assert spgemm_numeric(A, B, rows).nnz == 0
+
+    def test_bin_rows_partition(self):
+        A = rmat_matrix(6, 4, seed=0)
+        bins = bin_rows(A, 5)
+        assert sum(len(b) for b in bins) == A.shape[0]
+
+
+class TestBFSKernel:
+    def test_matches_networkx(self):
+        g = rmat_graph(7, 8, seed=3)
+        deg = np.diff(g.indptr)
+        src = int(np.argmax(deg))
+        dist, _ = bfs_levels(g, src, 4)
+        G = nx.from_scipy_sparse_array(g)
+        expected = nx.single_source_shortest_path_length(G, src)
+        for v, d in expected.items():
+            assert dist[v] == d
+        unreachable = set(range(g.shape[0])) - set(expected)
+        for v in unreachable:
+            assert dist[v] == -1
+
+    def test_work_matrix_counts_all_edges_of_frontier(self):
+        g = rmat_graph(6, 6, seed=0)
+        deg = np.diff(g.indptr)
+        src = int(np.argmax(deg))
+        dist, work = bfs_levels(g, src, 3)
+        assert work.shape[1] == 3
+        # level 0 work is exactly the source's degree
+        assert work[0].sum() == deg[src]
+
+    def test_source_validation(self):
+        g = rmat_graph(5, 4, seed=0)
+        with pytest.raises(IndexError):
+            bfs_levels(g, g.shape[0] + 5, 2)
+
+    def test_partition_bounds(self):
+        bounds = partition_vertices(100, 4)
+        assert bounds[0] == 0 and bounds[-1] == 100
+        assert len(bounds) == 5
+
+
+class TestWarpXKernel:
+    def test_charge_conserved(self):
+        rng = make_rng(0)
+        x = rng.uniform(0, 64, 5000)
+        v = rng.normal(0, 1, 5000)
+        _, _, rho = pic_step(x, v, charge=0.5, n_cells=64)
+        assert rho.sum() == pytest.approx(0.5 * 5000)
+
+    def test_positions_stay_periodic(self):
+        rng = make_rng(1)
+        x = rng.uniform(0, 32, 1000)
+        v = rng.normal(0, 5, 1000)
+        x2, _, _ = pic_step(x, v, charge=1.0, n_cells=32)
+        assert (x2 >= 0).all() and (x2 < 32).all()
+
+    def test_uniform_plasma_stays_calm(self):
+        """A perfectly uniform cold plasma exerts (almost) no force."""
+        x = np.linspace(0, 16, 1600, endpoint=False)
+        v = np.zeros(1600)
+        _, v2, _ = pic_step(x, v, charge=1.0, n_cells=16)
+        assert np.abs(v2).max() < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pic_step(np.zeros(3), np.zeros(3), 1.0, n_cells=2)
+
+
+class TestDMRGKernel:
+    def test_power_iteration_finds_dominant_eigenpair(self):
+        rng = make_rng(0)
+        m = rng.normal(size=(40, 40))
+        h = m @ m.T + 40 * np.eye(40)  # SPD with clear dominant eigenvalue
+        psi = rng.normal(size=(40, 8))
+        eig, _ = davidson_sweep(h, psi, iters=200)
+        expected = np.linalg.eigvalsh(h)[-1]
+        assert eig == pytest.approx(expected, rel=1e-3)
+
+    def test_truncation_reduces_rank(self):
+        rng = make_rng(1)
+        h = np.eye(20)
+        psi = rng.normal(size=(20, 10))
+        _, truncated = davidson_sweep(h, psi, iters=5, rank_keep=3)
+        assert np.linalg.matrix_rank(truncated) <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            davidson_sweep(np.zeros((3, 4)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            davidson_sweep(np.eye(3), np.zeros((4, 2)))
+
+
+class TestNWChemKernel:
+    def test_matches_einsum(self):
+        rng = make_rng(0)
+        A = rng.normal(size=(30, 20))
+        B = rng.normal(size=(20, 25))
+        C = contract_tiles(A, B, tile=8)
+        np.testing.assert_allclose(C, np.einsum("ak,ki->ai", A, B), rtol=1e-10)
+
+    def test_tile_size_irrelevant_to_result(self):
+        rng = make_rng(1)
+        A = rng.normal(size=(16, 16))
+        B = rng.normal(size=(16, 16))
+        np.testing.assert_allclose(
+            contract_tiles(A, B, tile=4), contract_tiles(A, B, tile=16), rtol=1e-10
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            contract_tiles(np.zeros((3, 4)), np.zeros((5, 2)), 2)
+        with pytest.raises(ValueError):
+            contract_tiles(np.zeros((3, 4)), np.zeros((4, 2)), 0)
+
+    def test_five_phases(self):
+        assert len(TC_PHASES) == 5
+        assert TC_PHASES[0] == "input_processing"
+
+
+@pytest.mark.parametrize("app_cls", ALL_APPS)
+class TestWorkloadBuilders:
+    def test_small_workload_valid(self, app_cls):
+        app = app_cls.small(seed=0)
+        wl = app.build_workload(seed=0)
+        assert len(wl.regions) > 0
+        assert wl.total_footprint_bytes > 0
+
+    def test_patterns_match_table1(self, app_cls):
+        app = app_cls.small(seed=0)
+        names = {p.value for p in app.classify().patterns_present()}
+        assert names == PAPER_PATTERNS[app.name]
+
+    def test_binding_covers_all_tasks(self, app_cls):
+        app = app_cls.small(seed=0)
+        wl = app.build_workload(seed=0)
+        binding = app.binding(wl)
+        assert set(binding.descriptors) == set(wl.task_ids)
+
+    def test_deterministic_build(self, app_cls):
+        app = app_cls.small(seed=0)
+        a = app.build_workload(seed=4)
+        b = app_cls.small(seed=0).build_workload(seed=4)
+        fa = a.regions[0].instances[0].footprint
+        fb = b.regions[0].instances[0].footprint
+        assert fa.accesses_by_object() == fb.accesses_by_object()
+
+    def test_kinds_assigned(self, app_cls):
+        app = app_cls.small(seed=0)
+        wl = app.build_workload(seed=0)
+        assert all(r.kind for r in wl.regions)
+
+    def test_table2_row(self, app_cls):
+        row = app_cls.small(seed=0).table2_row()
+        assert row["application"] == app_cls.name
+        assert row["paper_memory_gb"] > 0
+
+
+class TestAppSpecificHelpers:
+    def test_spgemm_sparta_inputs(self):
+        app = SpGEMMApp.small(seed=0)
+        inputs = app.sparta_input_objects()
+        assert "B" in inputs
+        assert all(not name.startswith("C_") for name in inputs)
+
+    def test_warpx_priorities_cover_regions(self):
+        app = WarpXApp.small(seed=0)
+        wl = app.build_workload(seed=0)
+        prios = app.warpx_pm_priorities(wl)
+        assert set(prios) == {r.name for r in wl.regions}
+        # lifetime analysis stages fields first
+        assert prios[wl.regions[0].name][0].startswith("fields")
+
+    def test_nwchem_phase_footprints(self):
+        app = NWChemTCApp.small(seed=0)
+        for phase in TC_PHASES:
+            fp = app.phase_footprint(phase, 0, 8 << 20, 4 << 20)
+            assert fp.total_accesses > 0
+        with pytest.raises(KeyError):
+            app.phase_footprint("warmup", 0, 8 << 20, 4 << 20)
+
+    def test_bfs_input_dependent_objects(self):
+        app = BFSApp.small(seed=0)
+        dep = app.input_dependent_objects()
+        assert all("visited" in v for v in dep.values())

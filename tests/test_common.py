@@ -1,0 +1,107 @@
+"""Tests for repro.common: the shared vocabulary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import (
+    CACHE_LINE,
+    PAGE_SIZE,
+    AccessPattern,
+    make_rng,
+    zipf_weights,
+)
+
+
+class TestConstants:
+    def test_page_size_is_4k(self):
+        assert PAGE_SIZE == 4096
+
+    def test_cache_line_is_64(self):
+        assert CACHE_LINE == 64
+
+    def test_page_holds_whole_lines(self):
+        assert PAGE_SIZE % CACHE_LINE == 0
+
+
+class TestAccessPattern:
+    def test_four_patterns(self):
+        assert len(AccessPattern) == 4
+
+    def test_values(self):
+        assert AccessPattern.STREAM.value == "stream"
+        assert AccessPattern.RANDOM.value == "random"
+
+    def test_regularity(self):
+        assert AccessPattern.STREAM.is_regular
+        assert AccessPattern.STRIDED.is_regular
+        assert AccessPattern.STENCIL.is_regular
+        assert not AccessPattern.RANDOM.is_regular
+
+    def test_is_str_enum(self):
+        # patterns serialise as plain strings (used in table output)
+        assert AccessPattern("stream") is AccessPattern.STREAM
+
+
+class TestMakeRng:
+    def test_from_int(self):
+        rng = make_rng(42)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_deterministic(self):
+        assert make_rng(7).integers(0, 1 << 30) == make_rng(7).integers(0, 1 << 30)
+
+    def test_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).random(8)
+        b = make_rng(2).random(8)
+        assert not np.allclose(a, b)
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        w = zipf_weights(100, 1.1)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_positive(self):
+        assert (zipf_weights(50, 0.8) > 0).all()
+
+    def test_sorted_without_rng(self):
+        w = zipf_weights(20, 1.0)
+        assert (np.diff(w) <= 0).all()
+
+    def test_shuffled_with_rng(self):
+        w = zipf_weights(200, 1.0, rng=make_rng(0))
+        assert not (np.diff(w) <= 0).all()
+
+    def test_shuffle_is_deterministic(self):
+        a = zipf_weights(64, 1.2, rng=make_rng(5))
+        b = zipf_weights(64, 1.2, rng=make_rng(5))
+        np.testing.assert_allclose(a, b)
+
+    def test_single_item(self):
+        np.testing.assert_allclose(zipf_weights(1, 1.1), [1.0])
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+    def test_higher_s_more_skewed(self):
+        flat = zipf_weights(100, 0.2)
+        steep = zipf_weights(100, 2.0)
+        assert steep[0] > flat[0]
+
+    @given(n=st.integers(1, 500), s=st.floats(0.0, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_always_a_distribution(self, n, s):
+        w = zipf_weights(n, s)
+        assert w.shape == (n,)
+        assert w.sum() == pytest.approx(1.0)
+        assert (w >= 0).all()

@@ -1,0 +1,169 @@
+"""Tests for the mini-Spindle static pattern classifier (Section 4)."""
+
+import pytest
+
+from repro.common import AccessPattern
+from repro.core.patterns import (
+    Affine,
+    ArrayRef,
+    Indirect,
+    Loop,
+    classify_kernel,
+    classify_object,
+)
+
+
+def loop(*refs, var="i"):
+    return Loop(var, tuple(refs))
+
+
+class TestStream:
+    def test_basic_stream(self):
+        """A[i] = B[i] + C[i]"""
+        k = loop(
+            ArrayRef("A", Affine("i"), is_write=True),
+            ArrayRef("B", Affine("i")),
+            ArrayRef("C", Affine("i")),
+        )
+        out = classify_kernel(k).per_object
+        assert out == {name: AccessPattern.STREAM for name in "ABC"}
+
+    def test_delta_pattern_is_stream(self):
+        """A[i] = A[i] + d -- same offset twice, still stream."""
+        k = loop(
+            ArrayRef("A", Affine("i")),
+            ArrayRef("A", Affine("i"), is_write=True),
+        )
+        assert classify_object(k, "A") is AccessPattern.STREAM
+
+    def test_reduction_is_stream(self):
+        """x = x + A[i] -- the array side is a stream."""
+        k = loop(ArrayRef("A", Affine("i")))
+        assert classify_object(k, "A") is AccessPattern.STREAM
+
+    def test_negative_unit_stride_is_stream(self):
+        k = loop(ArrayRef("A", Affine("i", stride=-1)))
+        assert classify_object(k, "A") is AccessPattern.STREAM
+
+    def test_loop_invariant_index_is_stream(self):
+        k = loop(ArrayRef("A", Affine("i", stride=0)))
+        assert classify_object(k, "A") is AccessPattern.STREAM
+
+
+class TestStrided:
+    def test_basic_strided(self):
+        """A[i*stride] = B[i*stride]"""
+        k = loop(
+            ArrayRef("A", Affine("i", stride=8), is_write=True),
+            ArrayRef("B", Affine("i", stride=8)),
+        )
+        out = classify_kernel(k)
+        assert out.per_object["A"] is AccessPattern.STRIDED
+        assert out.strides["A"] == 8
+
+    def test_mixed_stride_keeps_max(self):
+        k = loop(
+            ArrayRef("A", Affine("i", stride=4)),
+            ArrayRef("A", Affine("i", stride=16)),
+        )
+        out = classify_kernel(k)
+        assert out.per_object["A"] is AccessPattern.STRIDED
+        assert out.strides["A"] == 16
+
+
+class TestStencil:
+    def test_three_point(self):
+        """A[i] = A[i-1] + A[i+1]"""
+        k = loop(
+            ArrayRef("A", Affine("i", offset=-1)),
+            ArrayRef("A", Affine("i", offset=1)),
+            ArrayRef("A", Affine("i"), is_write=True),
+        )
+        assert classify_object(k, "A") is AccessPattern.STENCIL
+
+    def test_two_distinct_offsets_suffice(self):
+        k = loop(
+            ArrayRef("A", Affine("i")),
+            ArrayRef("A", Affine("i", offset=1), is_write=True),
+        )
+        assert classify_object(k, "A") is AccessPattern.STENCIL
+
+    def test_offsets_across_loops_merge(self):
+        k1 = loop(ArrayRef("A", Affine("i", offset=-1)))
+        k2 = loop(ArrayRef("A", Affine("i", offset=1)))
+        assert classify_kernel([k1, k2]).per_object["A"] is AccessPattern.STENCIL
+
+
+class TestRandom:
+    def test_gather(self):
+        """A[i] = B[C[i]] -- B is random, C streams."""
+        k = loop(
+            ArrayRef("A", Affine("i"), is_write=True),
+            ArrayRef("B", Indirect("C", Affine("i"))),
+        )
+        out = classify_kernel(k).per_object
+        assert out["B"] is AccessPattern.RANDOM
+        assert out["A"] is AccessPattern.STREAM
+        assert out["C"] is AccessPattern.STREAM  # index array is streamed
+
+    def test_scatter(self):
+        """A[B[i]] = C[i] -- A is random."""
+        k = loop(
+            ArrayRef("A", Indirect("B", Affine("i")), is_write=True),
+            ArrayRef("C", Affine("i")),
+        )
+        assert classify_kernel(k).per_object["A"] is AccessPattern.RANDOM
+
+    def test_indirect_dominates_affine(self):
+        """An object with any indirect reference is random."""
+        k = loop(
+            ArrayRef("A", Affine("i")),
+            ArrayRef("A", Indirect("B", Affine("i"))),
+        )
+        assert classify_kernel(k).per_object["A"] is AccessPattern.RANDOM
+
+    def test_nested_indirection(self):
+        k = loop(ArrayRef("A", Indirect("B", Indirect("C", Affine("i")))))
+        out = classify_kernel(k).per_object
+        assert out["A"] is AccessPattern.RANDOM
+        assert out["B"] is AccessPattern.STREAM
+        assert out["C"] is AccessPattern.STREAM
+
+    def test_unknown_object_treated_random(self):
+        k = loop(ArrayRef("A", Affine("i")))
+        assert classify_object(k, "nonexistent") is AccessPattern.RANDOM
+
+
+class TestNestedLoops:
+    def test_inner_variable_governs(self):
+        k = Loop(
+            "i",
+            (
+                Loop(
+                    "j",
+                    (
+                        ArrayRef("A", Affine("j")),
+                        ArrayRef("B", Affine("i")),
+                    ),
+                ),
+            ),
+        )
+        out = classify_kernel(k).per_object
+        assert out["A"] is AccessPattern.STREAM
+        assert out["B"] is AccessPattern.STREAM
+
+    def test_patterns_present_ordering(self):
+        k = loop(
+            ArrayRef("A", Affine("i")),
+            ArrayRef("B", Affine("i")),
+            ArrayRef("C", Indirect("A", Affine("i"))),
+        )
+        present = classify_kernel(k).patterns_present()
+        assert present[0] is AccessPattern.STREAM  # majority pattern first
+        assert set(present) == {AccessPattern.STREAM, AccessPattern.RANDOM}
+
+
+class TestValidation:
+    def test_affine_requires_var(self):
+        with pytest.raises(ValueError):
+            Affine("")

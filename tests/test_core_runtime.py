@@ -1,0 +1,133 @@
+"""Tests for the Merchandiser runtime policy (end-to-end on small apps)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import SpGEMMApp
+from repro.baselines import PMOnlyPolicy
+from repro.core import default_system, lb_hm_config
+from repro.core.patterns import Affine, ArrayRef, Indirect, Loop
+from repro.sim import Engine, MachineModel, optane_hm_config
+from repro.tasks import DataObject
+
+HM = optane_hm_config()
+
+
+@pytest.fixture(scope="module")
+def system():
+    return default_system(seed=0, fast=True)
+
+
+@pytest.fixture(scope="module")
+def spgemm_setup(system):
+    app = SpGEMMApp.small(seed=0)
+    wl = app.build_workload(seed=0)
+    binding = app.binding(wl)
+    return app, wl, binding
+
+
+class TestLbHmConfig:
+    def test_registers_patterns(self):
+        kernel = Loop(
+            "i",
+            (
+                ArrayRef("A", Affine("i")),
+                ArrayRef("B", Indirect("A", Affine("i"))),
+            ),
+        )
+        objs = [DataObject("A", 1 << 20), DataObject("B", 1 << 20)]
+        desc = lb_hm_config(objs, kernel)
+        assert desc["A"].pattern.value == "stream"
+        assert desc["B"].pattern.value == "random"
+
+    def test_random_needs_refinement(self):
+        kernel = Loop("i", (ArrayRef("B", Indirect("C", Affine("i"))),))
+        desc = lb_hm_config([DataObject("B", 1 << 20)], kernel)
+        assert desc["B"].needs_refinement
+
+    def test_unreferenced_object_rejected(self):
+        kernel = Loop("i", (ArrayRef("A", Affine("i")),))
+        with pytest.raises(ValueError):
+            lb_hm_config([DataObject("ghost", 1 << 20)], kernel)
+
+
+class TestMerchandiserPolicy:
+    def test_runs_end_to_end(self, system, spgemm_setup):
+        _, wl, binding = spgemm_setup
+        policy = system.policy(binding, seed=3)
+        res = Engine(MachineModel(), HM).run(wl, policy, seed=1)
+        assert res.total_time_s > 0
+        assert res.pages_migrated > 0
+
+    def test_plans_created_after_base_profiling(self, system, spgemm_setup):
+        _, wl, binding = spgemm_setup
+        policy = system.policy(binding, seed=3)
+        Engine(MachineModel(), HM).run(wl, policy, seed=1)
+        # first iteration (both kinds) is base profiling; later regions plan
+        assert len(policy.plans) >= 1
+        for plan in policy.plans:
+            assert 0 < plan.predicted_makespan_s
+            for q in plan.quotas:
+                assert 0.0 <= q.r_dram <= 1.0
+
+    def test_improves_over_pm_only(self, system, spgemm_setup):
+        _, wl, binding = spgemm_setup
+        eng = Engine(MachineModel(), HM)
+        t_pm = eng.run(wl, PMOnlyPolicy(), seed=1).total_time_s
+        t_m = eng.run(wl, system.policy(binding, seed=3), seed=1).total_time_s
+        assert t_m < t_pm
+
+    def test_deterministic_given_seeds(self, system, spgemm_setup):
+        _, wl, binding = spgemm_setup
+        eng = Engine(MachineModel(), HM)
+        a = eng.run(wl, system.policy(binding, seed=3), seed=1).total_time_s
+        b = eng.run(wl, system.policy(binding, seed=3), seed=1).total_time_s
+        assert a == b
+
+    def test_planning_overhead_tracked(self, system, spgemm_setup):
+        _, wl, binding = spgemm_setup
+        policy = system.policy(binding, seed=3)
+        Engine(MachineModel(), HM).run(wl, policy, seed=1)
+        assert policy.planning_overhead_s > 0
+
+    def test_no_planning_ablation(self, system, spgemm_setup):
+        _, wl, binding = spgemm_setup
+        policy = system.policy(binding, seed=3, enable_planning=False)
+        Engine(MachineModel(), HM).run(wl, policy, seed=1)
+        assert policy.plans == []
+
+    def test_no_refinement_ablation(self, system, spgemm_setup):
+        _, wl, binding = spgemm_setup
+        policy = system.policy(binding, seed=3, enable_refinement=False)
+        Engine(MachineModel(), HM).run(wl, policy, seed=1)
+        for est in policy._estimators.values():
+            assert est.alphas.mean_alpha() == 1.0
+
+    def test_refinement_updates_alpha(self, system, spgemm_setup):
+        _, wl, binding = spgemm_setup
+        policy = system.policy(binding, seed=3)
+        Engine(MachineModel(), HM).run(wl, policy, seed=1)
+        alphas = [est.alphas.mean_alpha() for est in policy._estimators.values()]
+        assert any(a != 1.0 for a in alphas)
+
+    def test_capacity_never_exceeded(self, system, spgemm_setup):
+        _, wl, binding = spgemm_setup
+        policy = system.policy(binding, seed=3)
+        peak = {"used": 0.0}
+        orig = policy.on_tick
+
+        def spy(ctx, dt):
+            peak["used"] = max(peak["used"], ctx.page_table.dram_used_bytes())
+            return orig(ctx, dt)
+
+        policy.on_tick = spy
+        Engine(MachineModel(), HM).run(wl, policy, seed=1)
+        assert peak["used"] <= HM.dram.capacity_bytes + 4096
+
+    def test_profile_key_includes_kind(self, system, spgemm_setup):
+        _, wl, binding = spgemm_setup
+        policy = system.policy(binding, seed=3)
+        Engine(MachineModel(), HM).run(wl, policy, seed=1)
+        # SpGEMM has symbolic and numeric kinds: both profiled separately
+        kinds = {key.split("|")[1] for key in policy._estimators if "|" in key}
+        assert kinds == {"symbolic", "numeric"}

@@ -1,0 +1,129 @@
+"""Tests for the trace-driven pattern recognition (binary-only fallback)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import AccessPattern, make_rng
+from repro.core.tracing import TraceClassifier, synthesize_trace
+
+MIB = 1 << 20
+CLF = TraceClassifier()
+
+
+class TestSynthesize:
+    def test_stream_addresses_sequential(self):
+        trace = synthesize_trace(AccessPattern.STREAM, 100, MIB)
+        deltas = np.diff(trace)
+        assert (deltas == 8).all()
+
+    def test_strided_addresses(self):
+        trace = synthesize_trace(AccessPattern.STRIDED, 100, MIB, stride=16)
+        assert (np.diff(trace) == 16 * 8).all()
+
+    def test_addresses_within_object(self):
+        for pattern in AccessPattern:
+            kwargs = {"stride": 4} if pattern is AccessPattern.STRIDED else {}
+            trace = synthesize_trace(pattern, 500, 64 * 1024, rng=make_rng(0), **kwargs)
+            assert (trace >= 0).all()
+            assert (trace < 64 * 1024).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_trace(AccessPattern.STREAM, 0, MIB)
+        with pytest.raises(ValueError):
+            synthesize_trace(AccessPattern.STRIDED, 10, MIB, stride=1)
+        with pytest.raises(ValueError):
+            synthesize_trace(AccessPattern.STREAM, 10, 4, element_size=8)
+
+
+class TestClassifier:
+    def test_stream_recognised(self):
+        trace = synthesize_trace(AccessPattern.STREAM, 5000, MIB)
+        verdict = CLF.classify(trace)
+        assert verdict.pattern is AccessPattern.STREAM
+        assert verdict.stride == 1
+
+    @pytest.mark.parametrize("stride", [2, 8, 64])
+    def test_strided_recognised_with_stride(self, stride):
+        trace = synthesize_trace(AccessPattern.STRIDED, 5000, 8 * MIB, stride=stride)
+        verdict = CLF.classify(trace)
+        assert verdict.pattern is AccessPattern.STRIDED
+        assert verdict.stride == stride
+
+    def test_stencil_recognised(self):
+        trace = synthesize_trace(AccessPattern.STENCIL, 6000, MIB, stencil_taps=3)
+        assert CLF.classify(trace).pattern is AccessPattern.STENCIL
+
+    def test_random_recognised(self):
+        trace = synthesize_trace(AccessPattern.RANDOM, 5000, 8 * MIB, rng=make_rng(1))
+        assert CLF.classify(trace).pattern is AccessPattern.RANDOM
+
+    def test_long_trace_subsampled(self):
+        clf = TraceClassifier(max_trace=1024)
+        trace = synthesize_trace(AccessPattern.STREAM, 200_000, 64 * MIB)
+        assert clf.classify(trace).pattern is AccessPattern.STREAM
+
+    def test_confidence_reported(self):
+        trace = synthesize_trace(AccessPattern.STREAM, 2000, MIB)
+        assert CLF.classify(trace).confidence > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CLF.classify(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            TraceClassifier(element_size=0)
+        with pytest.raises(ValueError):
+            TraceClassifier(dominance=0.3)
+
+    @given(
+        pattern=st.sampled_from(
+            [AccessPattern.STREAM, AccessPattern.STRIDED, AccessPattern.RANDOM]
+        ),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pure_patterns_always_recovered(self, pattern, seed):
+        kwargs = {"stride": 8} if pattern is AccessPattern.STRIDED else {}
+        trace = synthesize_trace(pattern, 4000, 16 * MIB, rng=make_rng(seed), **kwargs)
+        assert CLF.classify(trace).pattern is pattern
+
+
+class TestDescriptors:
+    def test_binary_only_registration(self):
+        traces = {
+            "A": synthesize_trace(AccessPattern.STREAM, 3000, MIB),
+            "B": synthesize_trace(AccessPattern.RANDOM, 3000, 8 * MIB, rng=make_rng(0)),
+        }
+        desc = CLF.descriptors(traces)
+        assert desc["A"].pattern is AccessPattern.STREAM
+        assert desc["B"].pattern is AccessPattern.RANDOM
+        assert desc["B"].needs_refinement  # no source: refine alpha online
+
+    def test_stencil_marked_input_dependent(self):
+        trace = synthesize_trace(AccessPattern.STENCIL, 6000, MIB)
+        verdict = CLF.classify(trace)
+        d = verdict.to_descriptor("grid")
+        assert d.input_dependent
+
+    def test_descriptor_carries_stride(self):
+        trace = synthesize_trace(AccessPattern.STRIDED, 5000, 8 * MIB, stride=32)
+        d = CLF.classify(trace).to_descriptor("arr")
+        assert d.stride == 32
+
+
+class TestEndToEndBinaryPath:
+    def test_trace_descriptors_drive_estimator(self):
+        """The binary-only descriptors plug into Equation 1 unchanged."""
+        from repro.core.estimator import AccessEstimator
+
+        traces = {
+            "A": synthesize_trace(AccessPattern.STREAM, 3000, MIB),
+            "B": synthesize_trace(AccessPattern.RANDOM, 3000, 8 * MIB, rng=make_rng(0)),
+        }
+        est = AccessEstimator(CLF.descriptors(traces))
+        est.record_base_profile({"A": MIB, "B": 8 * MIB}, {"A": 1000, "B": 2000})
+        out = est.estimate({"A": 2 * MIB, "B": 8 * MIB})
+        assert out["A"] == pytest.approx(2000, rel=0.01)
+        assert out["B"] == pytest.approx(2000, rel=0.01)

@@ -1,0 +1,67 @@
+"""Tests for experiment-module helper functions (no engine runs needed)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig5 import box_stats
+from repro.experiments.fig6 import downsample
+from repro.experiments.sensitivity import resized_hm
+from repro.experiments.table1 import PAPER_PATTERNS
+from repro.experiments.table3 import PAPER_R2
+from repro.experiments.table4 import PAPER
+
+
+class TestBoxStats:
+    def test_normalised_to_slowest(self):
+        stats = box_stats([1.0, 2.0, 4.0])
+        assert stats["max"] == 1.0
+        assert stats["min"] == pytest.approx(0.25)
+
+    def test_quartile_ordering(self):
+        stats = box_stats(list(np.linspace(1, 10, 20)))
+        assert stats["min"] <= stats["q1"] <= stats["median"] <= stats["q3"] <= stats["max"]
+
+    def test_acv_of_equal_tasks_zero(self):
+        assert box_stats([5.0, 5.0, 5.0])["acv"] == 0.0
+
+
+class TestDownsample:
+    def test_bucket_count(self):
+        t = np.linspace(0, 100, 1000)
+        v = np.ones(1000)
+        ot, ov = downsample(t, v, n_bins=10)
+        assert len(ot) == 10 and len(ov) == 10
+        np.testing.assert_allclose(ov, 1.0)
+
+    def test_preserves_mean_roughly(self):
+        rng = np.random.default_rng(0)
+        t = np.sort(rng.uniform(0, 50, 500))
+        v = rng.uniform(0, 2, 500)
+        _, ov = downsample(t, v, 25)
+        assert ov[ov > 0].mean() == pytest.approx(v.mean(), rel=0.2)
+
+    def test_empty_trace(self):
+        ot, ov = downsample(np.array([]), np.array([]))
+        assert len(ot) == 0 and len(ov) == 0
+
+
+class TestSensitivityHelpers:
+    def test_resized_hm_changes_only_capacity(self):
+        hm = resized_hm(96)
+        base = resized_hm(192)
+        assert hm.dram.capacity_bytes == base.dram.capacity_bytes // 2
+        assert hm.dram.read_bandwidth == base.dram.read_bandwidth
+        assert hm.pm.capacity_bytes == base.pm.capacity_bytes
+
+
+class TestPaperConstants:
+    def test_table1_covers_all_apps(self):
+        assert set(PAPER_PATTERNS) == {"SpGEMM", "WarpX", "BFS", "DMRG", "NWChem-TC"}
+
+    def test_table3_covers_all_models(self):
+        assert set(PAPER_R2) == {"DTR", "SVR", "KNR", "RFR", "GBR", "ANN"}
+        assert max(PAPER_R2, key=PAPER_R2.__getitem__) == "GBR"
+
+    def test_table4_ours_beats_baseline_in_paper_too(self):
+        for app, (ours, baseline) in PAPER.items():
+            assert ours > baseline, app

@@ -1,0 +1,98 @@
+"""Tests for the experiment harness (fast paths only).
+
+The full paper-scale experiments run via ``python -m
+repro.experiments.runner`` and the benchmark suite; here we check that the
+harness machinery (context caching, metrics, the cheap experiments) works
+and that the structural results (Table 1/2, Figure 3 shapes) hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import NWChemTCApp, SpGEMMApp
+from repro.experiments import ExperimentContext
+from repro.experiments import fig3, table1, table2
+from repro.experiments.common import acv, format_table
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(seed=0, fast=True)
+
+
+class TestHelpers:
+    def test_acv_zero_for_equal(self):
+        assert acv([3.0, 3.0, 3.0]) == 0.0
+
+    def test_acv_scale_invariant(self):
+        assert acv([1.0, 2.0, 3.0]) == pytest.approx(acv([10.0, 20.0, 30.0]))
+
+    def test_acv_rejects_empty(self):
+        with pytest.raises(ValueError):
+            acv([])
+
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [["x", 1.5], ["longer", 2.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "1.500" in out
+
+
+class TestContextCaching:
+    def test_workload_cached(self, ctx):
+        assert ctx.workload(SpGEMMApp) is ctx.workload(SpGEMMApp)
+
+    def test_app_cached(self, ctx):
+        assert ctx.app(SpGEMMApp) is ctx.app(SpGEMMApp)
+
+    def test_policies_include_app_specific(self, ctx):
+        pols = ctx.policies(SpGEMMApp)
+        assert "sparta" in pols
+        assert "merchandiser" in pols
+        assert "sparta" not in ctx.policies(NWChemTCApp)
+
+
+class TestTable1(object):
+    def test_all_patterns_match_paper(self, ctx):
+        result = table1.run(ctx)
+        for app, detected in result["detected"].items():
+            assert detected == result["paper"][app], app
+
+
+class TestTable2:
+    def test_rows_scaled_from_paper(self, ctx):
+        rows = table2.run(ctx)
+        for name, row in rows.items():
+            # simulated MB within 1% of paper GB (the 1/1024 scale)
+            assert row["workload_mb"] == pytest.approx(
+                row["paper_memory_gb"] * 1024 / 1024, rel=0.02
+            )
+
+    def test_task_configs_match_paper(self, ctx):
+        rows = table2.run(ctx)
+        assert rows["SpGEMM"]["openmp_threads"] == 12
+        assert rows["WarpX"]["openmp_threads"] == 24
+        assert rows["DMRG"]["mpi_processes"] == 6
+
+
+class TestFig3:
+    def test_shape(self, ctx):
+        result = fig3.run(ctx)
+        for phase, norm in result.items():
+            assert norm[0.0] == pytest.approx(1.0)
+            # more DRAM never hurts a phase
+            assert norm[1.0] <= norm[0.5] <= norm[0.0] + 1e-9
+
+    def test_phase_sensitivity_varies(self, ctx):
+        """Figure 3's point: phases respond differently to the DRAM ratio."""
+        result = fig3.run(ctx)
+        at_half = [result[p][0.5] for p in result if p != "entire_task"]
+        assert max(at_half) - min(at_half) > 0.05
+
+    def test_writeback_most_sensitive(self, ctx):
+        result = fig3.run(ctx)
+        reductions = {
+            p: 1.0 - result[p][0.5] for p in result if p != "entire_task"
+        }
+        top2 = sorted(reductions, key=reductions.__getitem__, reverse=True)[:2]
+        assert "writeback" in top2

@@ -1,0 +1,152 @@
+"""Tests for ML metrics, splitting, scaling and feature selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    DecisionTreeRegressor,
+    StandardScaler,
+    mean_absolute_percentage_error,
+    prediction_accuracy,
+    r2_score,
+    recursive_importance_elimination,
+    train_test_split,
+)
+
+
+class TestR2:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_mean_prediction_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_bad_prediction_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.array([3.0, 1.0, -5.0])) < 0
+
+    def test_constant_target_handled(self):
+        y = np.ones(5)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            r2_score([1, 2], [1, 2, 3])
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_never_exceeds_one(self, values):
+        y = np.asarray(values)
+        pred = y + np.linspace(-1, 1, len(y))
+        assert r2_score(y, pred) <= 1.0 + 1e-12
+
+
+class TestAccuracy:
+    def test_mape_zero_for_exact(self):
+        assert mean_absolute_percentage_error([1, 2], [1, 2]) == 0.0
+
+    def test_accuracy_complements_mape(self):
+        acc = prediction_accuracy([100.0], [90.0])
+        assert acc == pytest.approx(0.9)
+
+    def test_accuracy_clipped_at_zero(self):
+        assert prediction_accuracy([1.0], [100.0]) == 0.0
+
+    def test_accuracy_perfect(self):
+        assert prediction_accuracy([5.0, 7.0], [5.0, 7.0]) == 1.0
+
+
+class TestSplit:
+    def test_fraction_respected(self):
+        X = np.arange(100)[:, None].astype(float)
+        y = np.arange(100).astype(float)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, 0.3, rng=0)
+        assert len(Xte) == 30
+        assert len(Xtr) == 70
+
+    def test_partition_is_complete(self):
+        X = np.arange(50)[:, None].astype(float)
+        y = np.arange(50).astype(float)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, 0.2, rng=1)
+        assert sorted(np.concatenate([ytr, yte]).tolist()) == list(range(50))
+
+    def test_rows_stay_aligned(self):
+        X = np.arange(40)[:, None].astype(float)
+        y = np.arange(40).astype(float)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, 0.25, rng=2)
+        np.testing.assert_allclose(Xtr.ravel(), ytr)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((5, 1)), np.zeros(5), 1.5)
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((1, 1)), np.zeros(1), 0.5)
+
+
+class TestScaler:
+    def test_zero_mean_unit_var(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5, 3, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0, atol=1e-9)
+        np.testing.assert_allclose(Z.std(axis=0), 1, atol=1e-9)
+
+    def test_constant_column_safe(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+
+class TestElimination:
+    @staticmethod
+    def _data(n=300, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 6))
+        y = 4 * X[:, 0] + 2 * X[:, 1] + 0.01 * rng.normal(size=n)
+        return X, y
+
+    def test_steps_shrink_by_one(self):
+        X, y = self._data()
+        names = [f"f{i}" for i in range(6)]
+        steps = recursive_importance_elimination(
+            lambda: DecisionTreeRegressor(max_depth=6),
+            X[:200], y[:200], X[200:], y[200:], names, min_features=2,
+        )
+        counts = [len(s.features) for s in steps]
+        assert counts == [6, 5, 4, 3, 2]
+
+    def test_informative_features_survive(self):
+        X, y = self._data()
+        names = [f"f{i}" for i in range(6)]
+        steps = recursive_importance_elimination(
+            lambda: DecisionTreeRegressor(max_depth=6),
+            X[:200], y[:200], X[200:], y[200:], names, min_features=2,
+        )
+        assert set(steps[-1].features) == {"f0", "f1"}
+
+    def test_protected_features_kept(self):
+        X, y = self._data()
+        names = [f"f{i}" for i in range(6)]
+        steps = recursive_importance_elimination(
+            lambda: DecisionTreeRegressor(max_depth=6),
+            X[:200], y[:200], X[200:], y[200:], names,
+            min_features=1, protected=("f5",),
+        )
+        assert all("f5" in s.features for s in steps)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recursive_importance_elimination(
+                lambda: DecisionTreeRegressor(),
+                np.zeros((4, 2)), np.zeros(4), np.zeros((2, 2)), np.zeros(2),
+                ["a"],  # wrong length
+            )

@@ -1,0 +1,144 @@
+"""Tests for the memory-profiling substrate."""
+
+import numpy as np
+import pytest
+
+from repro.common import PAGE_SIZE, AccessPattern, make_rng
+from repro.profiling import (
+    PEBSProfiler,
+    PTESampleProfiler,
+    ThermostatProfiler,
+    top_k_hot_pages,
+)
+from repro.profiling.thermostat import PAGES_PER_REGION
+from repro.sim.pages import PageTable
+from repro.tasks import DataObject, Footprint, ObjectAccess
+
+
+def make_table(pages_a=1000, pages_b=2000, dram_pages=500, seed=0):
+    table = PageTable(
+        [DataObject("a", pages_a * PAGE_SIZE), DataObject("b", pages_b * PAGE_SIZE)],
+        dram_pages * PAGE_SIZE,
+        rng=make_rng(seed),
+    )
+    rates = {
+        "a": np.full(pages_a, 100.0),
+        "b": np.full(pages_b, 1.0),
+    }
+    return table, rates
+
+
+class TestPTEProfiler:
+    def test_sample_bounded(self):
+        table, rates = make_table()
+        prof = PTESampleProfiler(max_pages=256, seed=0)
+        est = prof.sample(table, rates, 1.0)
+        assert sum(len(idx) for idx, _ in est.samples.values()) == 256
+
+    def test_scaling_factor(self):
+        table, rates = make_table()
+        prof = PTESampleProfiler(max_pages=300, seed=0)
+        est = prof.sample(table, rates, 1.0)
+        assert est.scale == pytest.approx(3000 / 300)
+
+    def test_estimate_roughly_unbiased(self):
+        """Scaled per-object estimates track the true totals."""
+        table, rates = make_table()
+        prof = PTESampleProfiler(max_pages=2048, seed=1)
+        totals = {"a": 0.0, "b": 0.0}
+        n_trials = 20
+        for _ in range(n_trials):
+            est = prof.sample(table, rates, 1.0)
+            for name, v in est.estimated_object_accesses().items():
+                totals[name] += v / n_trials
+        assert totals["a"] == pytest.approx(1000 * 100.0, rel=0.15)
+        assert totals["b"] == pytest.approx(2000 * 1.0, rel=0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PTESampleProfiler(max_pages=0)
+        table, rates = make_table()
+        with pytest.raises(ValueError):
+            PTESampleProfiler().sample(table, rates, 0.0)
+
+
+class TestThermostat:
+    def test_one_probe_per_region(self):
+        table, rates = make_table(pages_a=PAGES_PER_REGION * 3)
+        prof = ThermostatProfiler(seed=0)
+        ests = prof.sample(table, rates, 1.0)
+        est_a = next(e for e in ests if e.obj == "a")
+        assert len(est_a.region_starts) == 3
+
+    def test_estimate_scaled_by_region_size(self):
+        table, rates = make_table(pages_a=PAGES_PER_REGION)
+        prof = ThermostatProfiler(seed=0)
+        ests = prof.sample(table, rates, 1.0)
+        est_a = next(e for e in ests if e.obj == "a")
+        # one region of 512 pages at rate 100/page over 1s -> ~51200
+        assert est_a.estimated_accesses[0] == pytest.approx(51200, rel=0.5)
+
+    def test_coldest_regions_order(self):
+        table, _ = make_table(pages_a=PAGES_PER_REGION * 4)
+        rates = {"a": np.zeros(PAGES_PER_REGION * 4), "b": np.zeros(2000)}
+        rates["a"][: PAGES_PER_REGION] = 1000.0  # region 0 is hot
+        prof = ThermostatProfiler(seed=0)
+        ests = prof.sample(table, rates, 1.0)
+        est_a = next(e for e in ests if e.obj == "a")
+        cold = est_a.coldest_regions()
+        assert cold[-1] == 0  # hottest region ranked last
+
+
+class TestPEBS:
+    def test_unbiased_estimates(self):
+        fp = Footprint(
+            accesses=(ObjectAccess("x", AccessPattern.RANDOM, reads=1_000_000),),
+            instructions=1,
+        )
+        prof = PEBSProfiler(period=256, seed=0)
+        vals = [prof.measure(fp)["x"] for _ in range(20)]
+        assert np.mean(vals) == pytest.approx(1_000_000, rel=0.05)
+
+    def test_small_counts_may_vanish(self):
+        fp = Footprint(
+            accesses=(ObjectAccess("x", AccessPattern.RANDOM, reads=3),),
+            instructions=1,
+        )
+        prof = PEBSProfiler(period=4096, seed=0)
+        assert prof.measure(fp)["x"] in (0.0, 4096.0, 8192.0, 12288.0)
+
+    def test_overhead_small(self):
+        assert PEBSProfiler(period=512).overhead_fraction() < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PEBSProfiler(period=0)
+
+
+class TestHotPages:
+    def test_top_k_selects_hottest(self):
+        table, _ = make_table()
+        rates = {"a": np.zeros(1000), "b": np.zeros(2000)}
+        rates["a"][7] = 1e6
+        prof = PTESampleProfiler(max_pages=3000, seed=0)
+        est = prof.sample(table, rates, 1.0)
+        hot = top_k_hot_pages(est, 1)
+        assert hot and hot[0][0] == "a"
+        assert 7 in hot[0][1]
+
+    def test_respects_k(self):
+        table, rates = make_table()
+        est = PTESampleProfiler(max_pages=2048, seed=0).sample(table, rates, 1.0)
+        hot = top_k_hot_pages(est, 10)
+        assert sum(len(idx) for _, idx in hot) <= 10
+
+    def test_min_count_filters_cold(self):
+        table, _ = make_table()
+        rates = {"a": np.zeros(1000), "b": np.zeros(2000)}
+        est = PTESampleProfiler(max_pages=512, seed=0).sample(table, rates, 1.0)
+        assert top_k_hot_pages(est, 100) == []
+
+    def test_k_zero(self):
+        table, rates = make_table()
+        est = PTESampleProfiler(max_pages=128, seed=0).sample(table, rates, 1.0)
+        assert top_k_hot_pages(est, 0) == []

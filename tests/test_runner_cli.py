@@ -1,0 +1,43 @@
+"""Tests for the experiment runner CLI and the cheap end of its registry."""
+
+import json
+
+import pytest
+
+from repro.experiments import runner
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(runner.DEFAULT_ORDER) == set(runner.EXPERIMENTS)
+
+    def test_expected_names(self):
+        for name in ("table1", "table2", "fig3", "fig4", "fig5", "fig6",
+                     "fig7", "table3", "table4", "overhead", "ablation",
+                     "extensibility", "sensitivity"):
+            assert name in runner.EXPERIMENTS
+
+
+class TestCli:
+    def test_runs_single_experiment(self, capsys):
+        assert runner.main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "SpGEMM" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            runner.main(["figure99"])
+
+    def test_json_export(self, tmp_path, capsys):
+        assert runner.main(["table1", "--json", str(tmp_path)]) == 0
+        data = json.loads((tmp_path / "table1.json").read_text())
+        assert "detected" in data
+
+    def test_multiple_experiments(self, capsys):
+        assert runner.main(["table1", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Figure 3" in out
+
+    def test_seed_flag(self, capsys):
+        assert runner.main(["table1", "--seed", "3"]) == 0

@@ -1,0 +1,102 @@
+"""Tests for the synthetic performance-monitor counters."""
+
+import pytest
+
+from repro.common import AccessPattern, make_rng
+from repro.sim.counters import PMC_EVENTS, TOP8_EVENTS, collect_pmcs, pmc_vector
+from repro.sim.machine import MachineModel
+from repro.sim.memspec import optane_hm_config
+from repro.tasks import Footprint, KernelProfile, ObjectAccess
+
+HM = optane_hm_config()
+MODEL = MachineModel()
+
+
+def footprint(pattern=AccessPattern.STREAM, reads=100_000, instr=10_000_000, **prof):
+    return Footprint(
+        accesses=(ObjectAccess("x", pattern, reads=reads),),
+        instructions=instr,
+        profile=KernelProfile(**prof),
+    )
+
+
+class TestEventSet:
+    def test_twenty_events(self):
+        assert len(PMC_EVENTS) == 20
+
+    def test_top8_matches_paper(self):
+        """Section 5.1's selected events, in importance order."""
+        assert TOP8_EVENTS == (
+            "LLC_MPKI",
+            "IPC",
+            "PRF_Miss",
+            "MEM_WCY",
+            "L2_LD_Miss",
+            "BR_MSP",
+            "VEC_INS",
+            "L3_LD_Miss",
+        )
+
+    def test_top8_subset_of_all(self):
+        assert set(TOP8_EVENTS) <= set(PMC_EVENTS)
+
+
+class TestCollect:
+    def test_all_events_present(self):
+        pmcs = collect_pmcs(footprint(), MODEL, HM, rng=make_rng(0))
+        assert set(pmcs) == set(PMC_EVENTS)
+
+    def test_non_negative(self):
+        pmcs = collect_pmcs(footprint(), MODEL, HM, rng=make_rng(0))
+        assert all(v >= 0 for v in pmcs.values())
+
+    def test_deterministic_with_seed(self):
+        a = collect_pmcs(footprint(), MODEL, HM, rng=make_rng(3))
+        b = collect_pmcs(footprint(), MODEL, HM, rng=make_rng(3))
+        assert a == b
+
+    def test_noisy_across_seeds(self):
+        a = collect_pmcs(footprint(), MODEL, HM, rng=make_rng(1))
+        b = collect_pmcs(footprint(), MODEL, HM, rng=make_rng(2))
+        assert a["LLC_MPKI"] != b["LLC_MPKI"]
+
+    def test_llc_mpki_tracks_memory_intensity(self):
+        light = collect_pmcs(footprint(reads=1_000), MODEL, HM, rng=make_rng(0), noise=0)
+        heavy = collect_pmcs(footprint(reads=1_000_000), MODEL, HM, rng=make_rng(0), noise=0)
+        assert heavy["LLC_MPKI"] > light["LLC_MPKI"]
+
+    def test_prf_miss_tracks_randomness(self):
+        stream = collect_pmcs(footprint(AccessPattern.STREAM), MODEL, HM, rng=make_rng(0), noise=0)
+        random = collect_pmcs(footprint(AccessPattern.RANDOM), MODEL, HM, rng=make_rng(0), noise=0)
+        assert random["PRF_Miss"] > stream["PRF_Miss"]
+
+    def test_vec_ins_tracks_profile(self):
+        scalar = collect_pmcs(footprint(vector_fraction=0.0), MODEL, HM, rng=make_rng(0), noise=0)
+        vector = collect_pmcs(footprint(vector_fraction=0.8), MODEL, HM, rng=make_rng(0), noise=0)
+        assert vector["VEC_INS"] > scalar["VEC_INS"]
+
+    def test_ipc_lower_when_memory_bound(self):
+        compute = collect_pmcs(footprint(reads=100, instr=50_000_000), MODEL, HM, rng=make_rng(0), noise=0)
+        memory = collect_pmcs(
+            footprint(AccessPattern.RANDOM, reads=5_000_000, instr=5_000_000),
+            MODEL, HM, rng=make_rng(0), noise=0,
+        )
+        assert memory["IPC"] < compute["IPC"]
+
+
+class TestVector:
+    def test_canonical_order(self):
+        pmcs = collect_pmcs(footprint(), MODEL, HM, rng=make_rng(0))
+        vec = pmc_vector(pmcs)
+        assert vec.shape == (20,)
+        assert vec[0] == pmcs["LLC_MPKI"]
+
+    def test_subset_order(self):
+        pmcs = collect_pmcs(footprint(), MODEL, HM, rng=make_rng(0))
+        vec = pmc_vector(pmcs, ("IPC", "VEC_INS"))
+        assert vec[0] == pmcs["IPC"]
+        assert vec[1] == pmcs["VEC_INS"]
+
+    def test_missing_event_raises(self):
+        with pytest.raises(KeyError):
+            pmc_vector({"IPC": 1.0}, ("IPC", "LLC_MPKI"))

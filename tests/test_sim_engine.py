@@ -1,0 +1,207 @@
+"""Tests for the virtual-time execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.common import PAGE_SIZE, AccessPattern
+from repro.sim import Engine, EngineConfig, MachineModel, PlacementPolicy, optane_hm_config
+from repro.sim.pages import MigrationBatch
+from repro.tasks import DataObject, Footprint, MPIProgram, ObjectAccess
+
+HM = optane_hm_config()
+
+
+def toy_workload(n_tasks=3, regions=2, skew=1.0):
+    prog = MPIProgram("toy", n_tasks)
+    fps = []
+    for i in range(n_tasks):
+        prog.declare_object(
+            DataObject(f"obj{i}", 16 * (1 << 20), owner=prog.task_id(i))
+        )
+        reads = int(200_000 * (1 + skew * i))
+        fps.append(
+            Footprint(
+                accesses=(ObjectAccess(f"obj{i}", AccessPattern.RANDOM, reads=reads),),
+                instructions=1_000_000,
+            )
+        )
+    for r in range(regions):
+        prog.parallel_region(f"iter{r}", fps, kind="iter")
+    return prog.build()
+
+
+class TestBasicRun:
+    def test_total_time_positive(self):
+        res = Engine(hm=HM).run(toy_workload(), PlacementPolicy(), seed=0)
+        assert res.total_time_s > 0
+
+    def test_region_count(self):
+        res = Engine(hm=HM).run(toy_workload(regions=3), PlacementPolicy(), seed=0)
+        assert len(res.regions) == 3
+
+    def test_deterministic(self):
+        wl = toy_workload()
+        a = Engine(hm=HM).run(wl, PlacementPolicy(), seed=5)
+        b = Engine(hm=HM).run(wl, PlacementPolicy(), seed=5)
+        assert a.total_time_s == b.total_time_s
+
+    def test_total_is_sum_of_region_durations(self):
+        res = Engine(hm=HM).run(toy_workload(), PlacementPolicy(), seed=0)
+        total = sum(r.duration_s for r in res.regions)
+        assert res.total_time_s == pytest.approx(total, rel=1e-6)
+
+
+class TestBarrierSemantics:
+    def test_busy_plus_wait_equals_region(self):
+        res = Engine(hm=HM).run(toy_workload(), PlacementPolicy(), seed=0)
+        for region in res.regions:
+            for task in region.busy_s:
+                assert region.busy_s[task] + region.wait_s[task] == pytest.approx(
+                    region.duration_s, rel=1e-9
+                )
+
+    def test_slowest_task_never_waits(self):
+        res = Engine(hm=HM).run(toy_workload(skew=2.0), PlacementPolicy(), seed=0)
+        for region in res.regions:
+            slowest = max(region.busy_s, key=region.busy_s.__getitem__)
+            assert region.wait_s[slowest] == pytest.approx(0.0, abs=1e-9)
+
+    def test_skewed_tasks_wait(self):
+        res = Engine(hm=HM).run(toy_workload(skew=3.0), PlacementPolicy(), seed=0)
+        waits = res.task_wait_times()
+        assert waits["rank0"] > 0  # the light task idles at the barrier
+
+    def test_busy_reflects_skew(self):
+        res = Engine(hm=HM).run(toy_workload(skew=3.0), PlacementPolicy(), seed=0)
+        busy = res.task_busy_times()
+        assert busy["rank2"] > busy["rank0"]
+
+
+class TestBandwidthAccounting:
+    def test_trace_recorded(self):
+        res = Engine(hm=HM).run(toy_workload(), PlacementPolicy(), seed=0)
+        assert len(res.trace_time) > 0
+        assert len(res.trace_time) == len(res.trace_pm_bw)
+
+    def test_pm_bandwidth_capped(self):
+        res = Engine(hm=HM).run(toy_workload(n_tasks=6, skew=0.1), PlacementPolicy(), seed=0)
+        # instance traffic respects the tier cap; migration adds on top but
+        # is itself bounded by the migration fraction
+        cap = HM.pm.read_bandwidth * 1.3
+        assert res.trace_pm_bw.max() <= cap * 1.05
+
+    def test_all_pm_when_unplaced(self):
+        res = Engine(hm=HM).run(toy_workload(), PlacementPolicy(), seed=0)
+        assert res.mean_dram_bandwidth() == pytest.approx(0.0)
+        assert res.mean_pm_bandwidth() > 0
+
+    def test_bandwidth_disabled(self):
+        cfg = EngineConfig(record_bandwidth=False)
+        res = Engine(hm=HM, config=cfg).run(toy_workload(), PlacementPolicy(), seed=0)
+        assert len(res.trace_time) == 0
+
+
+class _PromoteAll(PlacementPolicy):
+    name = "promote-all"
+
+    def on_tick(self, ctx, dt):
+        moves = []
+        for obj in ctx.page_table:
+            idx = obj.hottest_pm_pages(limit=ctx.migration_budget_pages)
+            if len(idx):
+                moves.append((obj.name, idx, True))
+                break
+        return MigrationBatch(moves=tuple(moves)) if moves else None
+
+
+class _InstantDram(PlacementPolicy):
+    name = "instant-dram"
+
+    def on_workload_start(self, ctx):
+        ctx.page_table.place_all(1.0)
+
+
+class TestMigration:
+    def test_migration_throttled_by_budget(self):
+        eng = Engine(hm=HM, config=EngineConfig(migration_bandwidth_fraction=0.01))
+        res = eng.run(toy_workload(), _PromoteAll(), seed=0)
+        slow = res.pages_migrated
+        eng2 = Engine(hm=HM, config=EngineConfig(migration_bandwidth_fraction=0.5))
+        res2 = eng2.run(toy_workload(), _PromoteAll(), seed=0)
+        assert res2.pages_migrated >= slow
+
+    def test_migration_counted(self):
+        res = Engine(hm=HM).run(toy_workload(), _PromoteAll(), seed=0)
+        assert res.pages_migrated > 0
+        assert res.trace_migration_bw.max() > 0
+
+    def test_dram_placement_speeds_up(self):
+        wl = toy_workload()
+        t_pm = Engine(hm=HM).run(wl, PlacementPolicy(), seed=0).total_time_s
+        t_dram = Engine(hm=HM).run(wl, _InstantDram(), seed=0).total_time_s
+        assert t_dram < t_pm
+
+    def test_capacity_never_exceeded(self):
+        class Check(_PromoteAll):
+            max_used = 0.0
+
+            def on_tick(self, ctx, dt):
+                Check.max_used = max(Check.max_used, ctx.page_table.dram_used_bytes())
+                return super().on_tick(ctx, dt)
+
+        Engine(hm=HM).run(toy_workload(), Check(), seed=0)
+        assert Check.max_used <= HM.dram.capacity_bytes + PAGE_SIZE
+
+
+class TestPolicyHooks:
+    def test_hook_order_and_counts(self):
+        calls = []
+
+        class Spy(PlacementPolicy):
+            def on_workload_start(self, ctx):
+                calls.append("workload")
+
+            def on_region_start(self, ctx):
+                calls.append(f"start:{ctx.region.name}")
+
+            def on_region_end(self, ctx):
+                calls.append(f"end:{ctx.region.name}")
+
+        Engine(hm=HM).run(toy_workload(regions=2), Spy(), seed=0)
+        assert calls == [
+            "workload",
+            "start:iter0",
+            "end:iter0",
+            "start:iter1",
+            "end:iter1",
+        ]
+
+    def test_context_exposes_region_kind(self):
+        seen = []
+
+        class Spy(PlacementPolicy):
+            def on_region_start(self, ctx):
+                seen.append(ctx.region.kind)
+
+        Engine(hm=HM).run(toy_workload(), Spy(), seed=0)
+        assert seen == ["iter", "iter"]
+
+    def test_page_access_rates_cover_active_objects(self):
+        captured = {}
+
+        class Spy(PlacementPolicy):
+            def on_tick(self, ctx, dt):
+                if not captured:
+                    captured.update(ctx.page_access_rates())
+                return None
+
+        Engine(hm=HM).run(toy_workload(n_tasks=2), Spy(), seed=0)
+        assert set(captured) == {"obj0", "obj1"}
+        for rates in captured.values():
+            assert (rates >= 0).all()
+            assert rates.sum() > 0
+
+    def test_runaway_guard(self):
+        cfg = EngineConfig(max_ticks_per_region=3)
+        with pytest.raises(RuntimeError):
+            Engine(hm=HM, config=cfg).run(toy_workload(), PlacementPolicy(), seed=0)

@@ -1,0 +1,274 @@
+"""Tests for the task-parallel substrate (repro.tasks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import AccessPattern, PAGE_SIZE
+from repro.tasks import (
+    DataObject,
+    Footprint,
+    KernelProfile,
+    MPIProgram,
+    ObjectAccess,
+    OpenMPProgram,
+    ParallelRegion,
+    TaskInstanceSpec,
+    Workload,
+)
+
+
+def fp(obj="x", pattern=AccessPattern.STREAM, reads=100, writes=10, instr=1000):
+    return Footprint(
+        accesses=(ObjectAccess(obj, pattern, reads=reads, writes=writes),),
+        instructions=instr,
+    )
+
+
+class TestDataObject:
+    def test_n_pages_rounds_up(self):
+        assert DataObject("a", PAGE_SIZE + 1).n_pages == 2
+
+    def test_n_pages_exact(self):
+        assert DataObject("a", 3 * PAGE_SIZE).n_pages == 3
+
+    def test_tiny_object_one_page(self):
+        assert DataObject("a", 1).n_pages == 1
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            DataObject("a", 0)
+
+    def test_rejects_bad_hotness(self):
+        with pytest.raises(ValueError):
+            DataObject("a", 100, hotness="hot")
+
+    def test_rejects_bad_element_size(self):
+        with pytest.raises(ValueError):
+            DataObject("a", 100, element_size=0)
+
+    def test_owner_default_shared(self):
+        assert DataObject("a", 100).owner is None
+
+
+class TestObjectAccess:
+    def test_total(self):
+        a = ObjectAccess("x", AccessPattern.STREAM, reads=3, writes=4)
+        assert a.total == 7
+
+    def test_bytes(self):
+        a = ObjectAccess("x", AccessPattern.STREAM, reads=2, writes=1)
+        assert a.bytes_read == 128
+        assert a.bytes_written == 64
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ObjectAccess("x", AccessPattern.STREAM, reads=-1)
+
+    def test_scaled(self):
+        a = ObjectAccess("x", AccessPattern.RANDOM, reads=100, writes=50)
+        b = a.scaled(0.5)
+        assert (b.reads, b.writes) == (50, 25)
+        assert b.pattern is AccessPattern.RANDOM
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(ValueError):
+            ObjectAccess("x", AccessPattern.STREAM, reads=1).scaled(-1)
+
+    @given(st.integers(0, 10**6), st.integers(0, 10**6), st.floats(0, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_scaled_total_close(self, reads, writes, factor):
+        a = ObjectAccess("x", AccessPattern.STREAM, reads=reads, writes=writes)
+        b = a.scaled(factor)
+        assert abs(b.total - a.total * factor) <= 1.0 + 1e-6 * a.total * factor
+
+
+class TestKernelProfile:
+    def test_defaults_valid(self):
+        KernelProfile()
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            KernelProfile(vector_fraction=1.5)
+
+    def test_rejects_nonpositive_ilp(self):
+        with pytest.raises(ValueError):
+            KernelProfile(ilp=0)
+
+
+class TestFootprint:
+    def test_totals(self):
+        f = fp(reads=100, writes=20)
+        assert f.total_accesses == 120
+        assert f.total_bytes == 120 * 64
+
+    def test_pattern_mix_sums_to_one(self):
+        f = Footprint(
+            accesses=(
+                ObjectAccess("a", AccessPattern.STREAM, reads=60),
+                ObjectAccess("b", AccessPattern.RANDOM, reads=40),
+            ),
+            instructions=10,
+        )
+        mix = f.pattern_mix()
+        assert sum(mix.values()) == pytest.approx(1.0)
+        assert mix[AccessPattern.RANDOM] == pytest.approx(0.4)
+
+    def test_random_fraction(self):
+        f = fp(pattern=AccessPattern.RANDOM, reads=10, writes=0)
+        assert f.random_fraction == 1.0
+
+    def test_write_fraction(self):
+        f = fp(reads=75, writes=25)
+        assert f.write_fraction == pytest.approx(0.25)
+
+    def test_objects_deduplicated_in_order(self):
+        f = Footprint(
+            accesses=(
+                ObjectAccess("a", AccessPattern.STREAM, reads=1),
+                ObjectAccess("b", AccessPattern.STREAM, reads=1),
+                ObjectAccess("a", AccessPattern.STRIDED, reads=1),
+            ),
+            instructions=10,
+        )
+        assert f.objects == ("a", "b")
+
+    def test_accesses_by_object_merges(self):
+        f = Footprint(
+            accesses=(
+                ObjectAccess("a", AccessPattern.STREAM, reads=10),
+                ObjectAccess("a", AccessPattern.STRIDED, reads=5, writes=5),
+            ),
+            instructions=10,
+        )
+        assert f.accesses_by_object() == {"a": 20}
+
+    def test_scaled_per_object(self):
+        f = Footprint(
+            accesses=(
+                ObjectAccess("a", AccessPattern.STREAM, reads=100),
+                ObjectAccess("b", AccessPattern.RANDOM, reads=100),
+            ),
+            instructions=1000,
+        )
+        g = f.scaled({"a": 2.0, "b": 0.5})
+        by = g.accesses_by_object()
+        assert by["a"] == 200
+        assert by["b"] == 50
+
+    def test_rejects_nonpositive_instructions(self):
+        with pytest.raises(ValueError):
+            Footprint(accesses=(), instructions=0)
+
+
+class TestRegionsAndWorkload:
+    def test_region_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ParallelRegion(name="r", instances=())
+
+    def test_region_rejects_duplicate_tasks(self):
+        inst = TaskInstanceSpec("t0", fp())
+        with pytest.raises(ValueError):
+            ParallelRegion(name="r", instances=(inst, inst))
+
+    def test_region_kind_default_empty(self):
+        region = ParallelRegion(name="r", instances=(TaskInstanceSpec("t0", fp()),))
+        assert region.kind == ""
+
+    def test_workload_checks_object_references(self):
+        region = ParallelRegion(
+            name="r", instances=(TaskInstanceSpec("t0", fp(obj="ghost")),)
+        )
+        with pytest.raises(ValueError):
+            Workload(name="w", objects=(DataObject("x", 100),), regions=(region,))
+
+    def test_workload_rejects_duplicate_objects(self):
+        region = ParallelRegion(
+            name="r", instances=(TaskInstanceSpec("t0", fp(obj="x")),)
+        )
+        with pytest.raises(ValueError):
+            Workload(
+                name="w",
+                objects=(DataObject("x", 100), DataObject("x", 200)),
+                regions=(region,),
+            )
+
+    def test_workload_task_ids_in_order(self):
+        r1 = ParallelRegion(
+            name="r1",
+            instances=(
+                TaskInstanceSpec("b", fp(obj="x")),
+                TaskInstanceSpec("a", fp(obj="x")),
+            ),
+        )
+        wl = Workload(name="w", objects=(DataObject("x", 100),), regions=(r1,))
+        assert wl.task_ids == ("b", "a")
+
+    def test_total_footprint(self):
+        r = ParallelRegion(name="r", instances=(TaskInstanceSpec("t", fp(obj="x")),))
+        wl = Workload(
+            name="w",
+            objects=(DataObject("x", 100), DataObject("y", 200)),
+            regions=(r,),
+        )
+        assert wl.total_footprint_bytes == 300
+
+    def test_object_lookup(self):
+        r = ParallelRegion(name="r", instances=(TaskInstanceSpec("t", fp(obj="x")),))
+        wl = Workload(name="w", objects=(DataObject("x", 100),), regions=(r,))
+        assert wl.object("x").size_bytes == 100
+        with pytest.raises(KeyError):
+            wl.object("nope")
+
+
+class TestFrontends:
+    def test_mpi_task_ids(self):
+        prog = MPIProgram("p", 3)
+        assert prog.task_ids == ("rank0", "rank1", "rank2")
+
+    def test_openmp_task_ids(self):
+        prog = OpenMPProgram("p", 2)
+        assert prog.task_ids == ("thread0", "thread1")
+
+    def test_task_id_bounds(self):
+        with pytest.raises(IndexError):
+            MPIProgram("p", 2).task_id(2)
+
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(ValueError):
+            OpenMPProgram("p", 0)
+
+    def test_duplicate_object_rejected(self):
+        prog = MPIProgram("p", 1)
+        prog.declare_object(DataObject("x", 100))
+        with pytest.raises(ValueError):
+            prog.declare_object(DataObject("x", 200))
+
+    def test_region_requires_footprint_per_task(self):
+        prog = MPIProgram("p", 2)
+        prog.declare_object(DataObject("x", 100))
+        with pytest.raises(ValueError):
+            prog.parallel_region("r", [fp(obj="x")])
+
+    def test_build_requires_regions(self):
+        prog = MPIProgram("p", 1)
+        with pytest.raises(ValueError):
+            prog.build()
+
+    def test_build_roundtrip(self):
+        prog = OpenMPProgram("p", 2)
+        prog.declare_object(DataObject("x", 100))
+        prog.parallel_region(
+            "r0", [fp(obj="x"), fp(obj="x")], kind="phaseA"
+        )
+        wl = prog.build()
+        assert wl.regions[0].kind == "phaseA"
+        assert wl.regions[0].task_ids == ("thread0", "thread1")
+
+    def test_input_vectors_attached(self):
+        prog = MPIProgram("p", 1)
+        prog.declare_object(DataObject("x", 100))
+        prog.parallel_region("r", [fp(obj="x")], input_vectors=[(1.0, 2.0)])
+        wl = prog.build()
+        assert wl.regions[0].instances[0].input_vector == (1.0, 2.0)
