@@ -55,12 +55,18 @@ class MemoryOptimizerPolicy(PlacementPolicy):
         for obj in ctx.page_table:
             obj.set_residency(0.0)
         self._last_scan = -1e30
+        # the baseline's profilers see the same injected faults as
+        # Merchandiser's, so robustness comparisons are apples-to-apples
+        self._pte.faults = ctx.faults
+        self._thermostat.faults = ctx.faults
 
     # ------------------------------------------------------------------
     def _select_promotions(
         self, ctx: EngineContext, rates: dict[str, np.ndarray]
     ) -> list[tuple[str, np.ndarray, bool]]:
-        estimate = self._pte.sample(ctx.page_table, rates, self.interval_s)
+        estimate = self._pte.sample(
+            ctx.page_table, rates, self.interval_s, now=ctx.time
+        )
         hot = top_k_hot_pages(estimate, self.promote_per_interval)
         moves: list[tuple[str, np.ndarray, bool]] = []
         for name, idx in hot:
@@ -79,7 +85,9 @@ class MemoryOptimizerPolicy(PlacementPolicy):
         """Free ``pages_needed`` pages by demoting the coldest DRAM regions."""
         if pages_needed <= 0:
             return []
-        estimates = self._thermostat.sample(ctx.page_table, rates, self.interval_s)
+        estimates = self._thermostat.sample(
+            ctx.page_table, rates, self.interval_s, now=ctx.time
+        )
         # rank all (object, region) pairs by estimated access count
         ranked: list[tuple[float, str, int]] = []
         for est in estimates:

@@ -22,6 +22,7 @@ __all__ = [
     "MIB",
     "GIB",
     "make_rng",
+    "spawn_rng",
     "zipf_weights",
 ]
 
@@ -76,6 +77,16 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Uses the SeedSequence spawn mechanism, which guarantees statistical
+    independence between parent and children; drawing integers from the
+    parent to reseed children does not, and silently correlates streams.
+    """
+    return rng.spawn(1)[0]
 
 
 def zipf_weights(n: int, s: float = 1.1, rng: SeedLike = None) -> np.ndarray:

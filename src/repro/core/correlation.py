@@ -25,7 +25,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.common import make_rng
+from repro.common import make_rng, spawn_rng
 from repro.ml import (
     DecisionTreeRegressor,
     GradientBoostedRegressor,
@@ -166,7 +166,7 @@ def default_model_zoo(seed=0) -> dict[str, tuple[Callable[[], object], str]]:
     rng = make_rng(seed)
 
     def rng_child():
-        return np.random.default_rng(rng.integers(0, 2**63))
+        return spawn_rng(rng)
 
     return {
         "DTR": (
@@ -294,7 +294,7 @@ class CorrelationFunction:
         def factory():
             return GradientBoostedRegressor(
                 n_estimators=150, max_depth=4, learning_rate=0.1,
-                rng=np.random.default_rng(rng.integers(0, 2**63)),
+                rng=spawn_rng(rng),
             )
 
         names = list(data.feature_names)

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.common import PAGE_SIZE, make_rng
 from repro.core.estimator import AccessEstimator, ObjectDescriptor
+from repro.core.guardrails import GuardrailConfig, Guardrails
 from repro.core.homogeneous import BasicBlock, HomogeneousPredictor
 from repro.core.model import PerformanceModel, TaskModelInputs
 from repro.core.planner import PlanResult, greedy_plan
@@ -95,6 +96,7 @@ class MerchandiserPolicy(PlacementPolicy):
         enable_refinement: bool = True,
         gate_margin: float = 1.15,
         seed=None,
+        guardrails: GuardrailConfig | None = None,
     ) -> None:
         self.model = model
         self.binding = binding
@@ -135,6 +137,17 @@ class MerchandiserPolicy(PlacementPolicy):
         self.pages_promoted_by_task: dict[str, int] = {}
         #: wall-clock seconds spent in online prediction + planning
         self.planning_overhead_s: float = 0.0
+        #: optional runtime guardrails (retry / validation / watchdog /
+        #: alpha quarantine).  ``None`` keeps the policy bit-identical to
+        #: the guardrail-free system.
+        self.guardrails: Guardrails | None = (
+            Guardrails(guardrails) if guardrails is not None else None
+        )
+        #: the engine merges this log into ``RunResult.robustness``
+        self.guardrail_log = self.guardrails.log if self.guardrails else None
+        self._region_start_s: float = 0.0
+        #: watchdog input: predicted region time captured at region start
+        self._watch_prediction: float | None = None
 
     # ------------------------------------------------------------------
     # lifecycle hooks
@@ -145,6 +158,10 @@ class MerchandiserPolicy(PlacementPolicy):
         if self.binding.blocks:
             self.homogeneous.measure_blocks(self.binding.blocks)
         self._last_scan = -1e30
+        # the engine's fault injector corrupts what our profilers observe
+        self._pte.faults = ctx.faults
+        self._pebs.faults = ctx.faults
+        self._base_profiler.faults = ctx.faults
 
     @staticmethod
     def _profile_key(task_id: str, kind: str) -> str:
@@ -157,6 +174,19 @@ class MerchandiserPolicy(PlacementPolicy):
         assert ctx.region is not None
         self._pending_base = []
         region = ctx.region
+        degraded = self.guardrails is not None and self.guardrails.watchdog.degraded
+        if degraded:
+            # while degraded, keep re-reading PMCs each region so that once
+            # the counter path is healthy again predictions recover and the
+            # watchdog can re-arm (fresh reads go through the fault injector
+            # like any other)
+            for inst in region.instances:
+                key = self._profile_key(inst.task_id, region.kind)
+                if key in self._base_pmcs:
+                    self._base_pmcs[key] = self._read_pmcs(ctx, inst)
+                    self.guardrails.log.record(
+                        "guardrail.pmc_reprofile", ctx.time, key=key
+                    )
         ready: list[TaskModelInputs] = []
         task_bytes: dict[str, int] = {}
         # how many tasks touch each object (to split shared-object bytes)
@@ -173,12 +203,26 @@ class MerchandiserPolicy(PlacementPolicy):
             if est is None or not est.has_base_profile:
                 self._pending_base.append(inst)
                 continue
-            sizes = self.binding.object_sizes(ctx.workload, inst, region.name)
+            sizes = self._instance_sizes(ctx, inst, region.name)
             total_acc = est.estimate_total(sizes)
             if total_acc <= 0:
                 self._pending_base.append(inst)
                 continue
             t_dram, t_pm = self._predict_endpoints(key, inst)
+            if self.guardrails is not None:
+                validated = self.guardrails.validator.validate_inputs(
+                    key, t_dram, t_pm, total_acc, ctx.time
+                )
+                if validated is None:
+                    # insane with nothing to fall back on: re-collect this
+                    # task's base profile (bounded per key)
+                    if self.guardrails.may_requeue_base(
+                        key, ctx.time, "invalid_model_inputs"
+                    ):
+                        self._estimators.pop(key, None)
+                        self._pending_base.append(inst)
+                    continue
+                t_dram, t_pm, total_acc = validated
             ready.append(
                 TaskModelInputs(
                     task_id=tid,
@@ -195,6 +239,8 @@ class MerchandiserPolicy(PlacementPolicy):
         self._quotas = None
         self._quota_targets = {}
         self._promotion_queue = []
+        self._watch_prediction = None
+        self._region_start_s = ctx.time
         if self.enable_planning and ready and not self._pending_base:
             plan = greedy_plan(
                 ready,
@@ -202,14 +248,31 @@ class MerchandiserPolicy(PlacementPolicy):
                 ctx.page_table.dram_capacity_bytes,
                 task_bytes,
             )
-            self._quotas = plan
-            self._quota_targets = plan.r_by_task()
-            self.plans.append(plan)
-            self._build_promotion_queue(ctx, plan)
+            if self.guardrails is not None:
+                self._watch_prediction = plan.predicted_makespan_s
+            if not degraded:
+                # the watchdog's degraded mode: predictions are computed
+                # (so recovery is observable) but never acted on -- the
+                # policy falls back to the ungated hot-page daemon
+                self._quotas = plan
+                self._quota_targets = plan.r_by_task()
+                self.plans.append(plan)
+                self._build_promotion_queue(ctx, plan)
         self.planning_overhead_s += _time.perf_counter() - t0
 
     def on_tick(self, ctx: EngineContext, dt: float) -> MigrationBatch | None:
         moves: list[tuple[str, np.ndarray, bool]] = []
+        # 0. guardrail: charge last tick's failed migrations to the retrier
+        # and re-emit any whose backoff has elapsed (ahead of fresh moves,
+        # so retries are not starved by the budget clamp)
+        retry_attempts = 0
+        if self.guardrails is not None:
+            if ctx.failed_migrations:
+                for failed in ctx.failed_migrations:
+                    self.guardrails.retrier.on_failure(failed, ctx.time)
+                ctx.failed_migrations.clear()
+            retry_moves, retry_attempts = self.guardrails.retrier.pop_due(ctx.time)
+            moves.extend(retry_moves)
         # 1. drain the quota-driven promotion queue (Algorithm 1's output),
         # never requesting more than the engine's migration bandwidth allows
         if self._promotion_queue:
@@ -237,7 +300,7 @@ class MerchandiserPolicy(PlacementPolicy):
                 left -= min(len(idx), left)
         if not moves:
             return None
-        for name, idx, *rest in [(m[0], m[1]) for m in moves]:
+        for name, idx in [(m[0], m[1]) for m in moves if m[2]]:
             owner = ctx.page_table.object(name).owner or "<shared>"
             self.pages_promoted_by_task[owner] = (
                 self.pages_promoted_by_task.get(owner, 0) + len(idx)
@@ -261,6 +324,8 @@ class MerchandiserPolicy(PlacementPolicy):
             deficit = n_promote - free
             if deficit > 0:
                 moves = self._demotions(ctx, deficit) + moves
+        if self.guardrails is not None:
+            self.guardrails.retrier.note_emitted(retry_attempts)
         return MigrationBatch(moves=tuple(moves))
 
     def on_region_end(self, ctx: EngineContext) -> None:
@@ -276,13 +341,42 @@ class MerchandiserPolicy(PlacementPolicy):
                 est = self._estimators.get(key)
                 if est is None or not est.has_base_profile:
                     continue
-                sizes = self.binding.object_sizes(ctx.workload, inst, ctx.region.name)
-                measured = self._pebs.measure(inst.footprint)
+                sizes = self._instance_sizes(ctx, inst, ctx.region.name)
+                measured = self._pebs.measure(inst.footprint, now=ctx.time)
+                if self._pebs.last_window_flagged and self.guardrails is not None:
+                    # alpha quarantine: never fold a fault-flagged PEBS
+                    # window into the alpha table
+                    self.guardrails.quarantine_alpha(key, ctx.time)
+                    continue
                 est.refine(sizes, measured)
+        # watchdog: compare the planner's predicted region time against the
+        # measured one (re-arms once predictions are usable again)
+        if self.guardrails is not None and self._watch_prediction is not None:
+            self.guardrails.watchdog.observe(
+                self._watch_prediction, ctx.time - self._region_start_s, ctx.time
+            )
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _instance_sizes(
+        self, ctx: EngineContext, inst: TaskInstanceSpec, region_name: str
+    ) -> dict[str, int]:
+        """``LB_HM_config`` object sizes, as *reported* (possibly faulty)."""
+        sizes = self.binding.object_sizes(ctx.workload, inst, region_name)
+        if ctx.faults is not None:
+            sizes = ctx.faults.corrupt_object_sizes(sizes, ctx.time)
+        return sizes
+
+    def _read_pmcs(
+        self, ctx: EngineContext, inst: TaskInstanceSpec
+    ) -> dict[str, float]:
+        """One PMC read for an instance, through the fault injector."""
+        pmcs = collect_pmcs(inst.footprint, ctx.machine, ctx.hm, rng=self._rng)
+        if ctx.faults is not None:
+            pmcs = ctx.faults.corrupt_pmc_read(pmcs, ctx.time)
+        return pmcs
+
     def _predict_endpoints(
         self, key: str, inst: TaskInstanceSpec
     ) -> tuple[float, float]:
@@ -301,16 +395,19 @@ class MerchandiserPolicy(PlacementPolicy):
             # objects not registered via the API are not managed
             return
         est = AccessEstimator(descriptors)
-        sizes = self.binding.object_sizes(ctx.workload, inst, ctx.region.name)
+        sizes = self._instance_sizes(ctx, inst, ctx.region.name)
         counts = self._base_profiler.measure(
-            inst.footprint, ctx.page_table.access_fractions()
+            inst.footprint, ctx.page_table.access_fractions(), now=ctx.time
         )
+        if self._base_profiler.last_window_flagged and self.guardrails is not None:
+            # the base profile anchors every later estimate for this task:
+            # a fault-flagged window is worth re-collecting (bounded)
+            if self.guardrails.may_requeue_base(key, ctx.time, "flagged_window"):
+                return
         managed_counts = {k: v for k, v in counts.items() if k in descriptors}
         est.record_base_profile(sizes, managed_counts)
         self._estimators[key] = est
-        self._base_pmcs[key] = collect_pmcs(
-            inst.footprint, ctx.machine, ctx.hm, rng=self._rng
-        )
+        self._base_pmcs[key] = self._read_pmcs(ctx, inst)
         self._base_inputs[key] = inst.input_vector or (1.0,)
         # auto-derive the task's "program body" basic block when the app
         # declares none: the whole base instance is one block
@@ -435,7 +532,9 @@ class MerchandiserPolicy(PlacementPolicy):
     ) -> list[tuple[str, np.ndarray, bool]]:
         """MemoryOptimizer-style promotion, gated by per-task quotas."""
         rates = ctx.page_access_rates()
-        estimate = self._pte.sample(ctx.page_table, rates, self.interval_s)
+        estimate = self._pte.sample(
+            ctx.page_table, rates, self.interval_s, now=ctx.time
+        )
         hot = top_k_hot_pages(estimate, self.promote_per_interval)
         assert ctx.region is not None
         # which tasks access each object

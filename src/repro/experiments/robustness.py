@@ -1,0 +1,161 @@
+"""Fault-injection robustness study (our extension).
+
+The paper's workflow trusts three information channels -- sampling
+profilers, performance counters and the migration syscall path -- plus a
+quiet machine.  This experiment injects faults into all of them (see
+:mod:`repro.sim.faults`) and measures how gracefully each policy degrades:
+
+* **severity sweep**: a mixed fault cocktail (failed/rejected migration
+  batches, corrupted/stale PMC reads, dropped/duplicated PEBS and PTE
+  windows, misreported ``LB_HM_config`` sizes) is scaled from 0 (healthy)
+  upward; we report each variant's slowdown over its own fault-free run.
+  Compared variants: Merchandiser with runtime guardrails
+  (:mod:`repro.core.guardrails`), Merchandiser without them, and the
+  task-agnostic MemoryOptimizer baseline;
+* **watchdog demo**: a harsh transient disturbance (DRAM capacity pressure
+  + PM bandwidth collapse + migration rejects) hits mid-run, trips the
+  misprediction watchdog into hot-page-daemon mode, and the run shows it
+  re-arming after the disturbance passes -- the degrade/re-arm timestamps
+  come straight out of ``RunResult.robustness``.
+"""
+
+from __future__ import annotations
+
+from repro.apps import SpGEMMApp
+from repro.baselines import MemoryOptimizerPolicy
+from repro.core.guardrails import GuardrailConfig
+from repro.sim import (
+    Engine,
+    FaultConfig,
+    FaultInjector,
+    MachineModel,
+    optane_hm_config,
+)
+from repro.experiments.common import ExperimentContext, format_table
+
+#: the mixed fault cocktail at severity 1.0: 10% failed migration batches
+#: + 5% corrupted PMC reads (the reference point), plus sampling/API noise
+#: and occasional environment disturbances at comparable rates
+BASE_FAULTS = FaultConfig(
+    migration_fail_rate=0.10,
+    migration_reject_rate=0.05,
+    pmc_corrupt_rate=0.05,
+    pmc_stale_rate=0.05,
+    pebs_drop_rate=0.05,
+    pebs_duplicate_rate=0.10,
+    pte_drop_rate=0.05,
+    pte_duplicate_rate=0.05,
+    object_size_error_rate=0.05,
+    dram_pressure_rate=0.003,
+    dram_pressure_fraction=0.7,
+    dram_pressure_duration_s=40.0,
+    pm_bw_degradation_rate=0.003,
+    pm_bw_degradation_factor=0.1,
+    pm_bw_degradation_duration_s=40.0,
+)
+
+SEVERITIES = (0.0, 1.0, 2.0)
+
+#: transient disturbance used for the watchdog demonstration: an external
+#: co-runner steals most DRAM and PM bandwidth for a mid-run window
+WATCHDOG_FAULTS = FaultConfig(
+    dram_pressure_rate=1.0,
+    dram_pressure_fraction=0.9,
+    dram_pressure_duration_s=30.0,
+    pm_bw_degradation_rate=1.0,
+    pm_bw_degradation_factor=0.05,
+    pm_bw_degradation_duration_s=30.0,
+    migration_reject_rate=0.5,
+    start_s=100.0,
+    end_s=700.0,
+)
+
+
+def _engine(ctx: ExperimentContext, faults: FaultInjector | None) -> Engine:
+    return Engine(MachineModel(), optane_hm_config(), faults=faults)
+
+
+def _policy(ctx: ExperimentContext, app, wl, guarded: bool):
+    extra = {"guardrails": GuardrailConfig()} if guarded else {}
+    return ctx.system.policy(app.binding(wl), seed=ctx.seed + 5, **extra)
+
+
+def run(ctx: ExperimentContext) -> dict[str, object]:
+    app = ctx.app(SpGEMMApp)
+    wl = ctx.workload(SpGEMMApp)
+
+    # ------------------------------------------------------------------
+    # severity sweep
+    # ------------------------------------------------------------------
+    variants = ("merch-guarded", "merch-unguarded", "memory-optimizer")
+    sweep: dict[str, dict[str, object]] = {v: {} for v in variants}
+    for severity in SEVERITIES:
+        cfg = BASE_FAULTS.scaled(severity)
+        for variant in variants:
+            faults = (
+                FaultInjector(cfg, seed=ctx.seed + 11) if cfg.any_enabled else None
+            )
+            engine = _engine(ctx, faults)
+            if variant == "memory-optimizer":
+                policy = MemoryOptimizerPolicy(seed=ctx.seed + 7)
+            else:
+                policy = _policy(ctx, app, wl, guarded=variant == "merch-guarded")
+            result = engine.run(wl, policy, seed=ctx.seed + 1)
+            sweep[variant][severity] = {
+                "total_time_s": result.total_time_s,
+                "fault_events": len(result.robustness.fault_events()),
+                "guardrail_counters": result.robustness.guardrail_counters(),
+            }
+    for variant in variants:
+        base = sweep[variant][0.0]["total_time_s"]
+        for severity in SEVERITIES:
+            point = sweep[variant][severity]
+            point["slowdown_vs_fault_free"] = point["total_time_s"] / base
+
+    rows = []
+    for severity in SEVERITIES:
+        row = [f"{severity:.1f}x"]
+        for variant in variants:
+            row.append(float(sweep[variant][severity]["slowdown_vs_fault_free"]))
+        rows.append(row)
+    print("Slowdown vs each variant's own fault-free run (SpGEMM)")
+    print(format_table(["severity"] + list(variants), rows))
+    g1 = sweep["merch-guarded"][1.0]["slowdown_vs_fault_free"]
+    u1 = sweep["merch-unguarded"][1.0]["slowdown_vs_fault_free"]
+    verb = "cut" if g1 < u1 else "did not cut"
+    print(
+        f"  at 1.0x (10% failed migrations + 5% corrupt PMCs): guardrails "
+        f"{verb} the slowdown: {u1:.3f}x unguarded vs {g1:.3f}x guarded"
+    )
+
+    # a fault-free guarded run must be guardrail-silent
+    clean = sweep["merch-guarded"][0.0]["guardrail_counters"]
+    print(f"  fault-free guardrail events: {sum(clean.values())} (want 0)")
+
+    # ------------------------------------------------------------------
+    # watchdog degrade / re-arm demonstration
+    # ------------------------------------------------------------------
+    faults = FaultInjector(WATCHDOG_FAULTS, seed=ctx.seed + 11)
+    engine = _engine(ctx, faults)
+    policy = _policy(ctx, app, wl, guarded=True)
+    result = engine.run(wl, policy, seed=ctx.seed + 1)
+    wd_events = [
+        {"kind": ev.kind, "time_s": ev.time_s, **ev.detail}
+        for ev in result.robustness.guardrail_events()
+        if "watchdog" in ev.kind
+    ]
+    print("Watchdog under a transient disturbance (100s-700s):")
+    for ev in wd_events:
+        print(f"  {ev['kind']} at t={ev['time_s']:.0f}s (error={ev['error']:.2f})")
+    if not wd_events:
+        print("  (watchdog never tripped)")
+
+    return {
+        "sweep": {v: {str(s): sweep[v][s] for s in SEVERITIES} for v in variants},
+        "watchdog_demo": {
+            "fault_window_s": [WATCHDOG_FAULTS.start_s, WATCHDOG_FAULTS.end_s],
+            "total_time_s": result.total_time_s,
+            "events": wd_events,
+            "guardrail_counters": result.robustness.guardrail_counters(),
+        },
+    }

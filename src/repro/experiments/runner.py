@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 
 from repro.experiments import (
     ablation,
@@ -26,6 +27,7 @@ from repro.experiments import (
     fig6,
     fig7,
     overhead,
+    robustness,
     sensitivity,
     table1,
     table2,
@@ -48,6 +50,7 @@ EXPERIMENTS = {
     "ablation": ablation.run,
     "extensibility": extensibility.run,
     "sensitivity": sensitivity.run,
+    "robustness": robustness.run,
 }
 
 #: cheap-first ordering so failures surface early
@@ -65,6 +68,7 @@ DEFAULT_ORDER = (
     "ablation",
     "extensibility",
     "sensitivity",
+    "robustness",
 )
 
 
@@ -96,18 +100,30 @@ def main(argv: list[str] | None = None) -> int:
 
     ctx = ExperimentContext(seed=args.seed, fast=not args.full)
     results = {}
+    failed: list[str] = []
     for name in names:
         print("=" * 72)
         print(f"== {name}")
         print("=" * 72)
         start = time.perf_counter()
-        results[name] = EXPERIMENTS[name](ctx)
-        if args.json:
-            from repro.experiments.export import write_result
+        # one broken experiment must not take down the rest of the suite:
+        # report the traceback, keep going, and exit non-zero at the end
+        try:
+            results[name] = EXPERIMENTS[name](ctx)
+            if args.json:
+                from repro.experiments.export import write_result
 
-            path = write_result(args.json, name, results[name])
-            print(f"[result written to {path}]")
+                path = write_result(args.json, name, results[name])
+                print(f"[result written to {path}]")
+        except Exception:
+            traceback.print_exc()
+            failed.append(name)
+            print(f"[{name} FAILED after {time.perf_counter() - start:.1f}s]\n")
+            continue
         print(f"[{name} done in {time.perf_counter() - start:.1f}s]\n")
+    if failed:
+        print(f"FAILED experiments: {', '.join(failed)}")
+        return 1
     return 0
 
 

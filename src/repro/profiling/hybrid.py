@@ -33,6 +33,7 @@ class HybridBaseProfiler:
         pm_period: int = 2048,
         dram_period: int = 128,
         seed=None,
+        faults=None,
     ) -> None:
         """``pm_period``/``dram_period`` are the effective one-in-N sampling
         rates of the PTE scan and the Thermostat probe respectively; the
@@ -46,9 +47,18 @@ class HybridBaseProfiler:
         self.pm_period = pm_period
         self.dram_period = dram_period
         self._rng = make_rng(seed)
+        #: optional :class:`~repro.sim.faults.FaultInjector`; base-profile
+        #: windows are event-sampled counts, so they share the PEBS-style
+        #: drop/duplicate fault model
+        self.faults = faults
+        #: whether the most recent measurement window was fault-flagged
+        self.last_window_flagged = False
 
     def measure(
-        self, footprint: Footprint, dram_fractions: Mapping[str, float] | None = None
+        self,
+        footprint: Footprint,
+        dram_fractions: Mapping[str, float] | None = None,
+        now: float = 0.0,
     ) -> dict[str, float]:
         """Estimated per-object access counts for one base-input instance.
 
@@ -74,4 +84,9 @@ class HybridBaseProfiler:
                     * self.dram_period
                 )
             out[obj] = float(est)
+        self.last_window_flagged = False
+        if self.faults is not None:
+            out, self.last_window_flagged = self.faults.corrupt_window_counts(
+                out, now, source="base_profile"
+            )
         return out

@@ -22,13 +22,20 @@ __all__ = ["PEBSProfiler"]
 class PEBSProfiler:
     """Samples one in ``period`` main-memory accesses of a task instance."""
 
-    def __init__(self, period: int = 1024, seed=None) -> None:
+    def __init__(self, period: int = 1024, seed=None, faults=None) -> None:
         if period < 1:
             raise ValueError("period must be >= 1")
         self.period = period
         self._rng = make_rng(seed)
+        #: optional :class:`~repro.sim.faults.FaultInjector` consulted per
+        #: window (dropped/duplicated sample windows)
+        self.faults = faults
+        #: whether the most recent window was fault-flagged; consumers that
+        #: care about data quality (alpha quarantine) read this after
+        #: :meth:`measure`
+        self.last_window_flagged = False
 
-    def measure(self, footprint: Footprint) -> dict[str, float]:
+    def measure(self, footprint: Footprint, now: float = 0.0) -> dict[str, float]:
         """Estimated main-memory accesses per object for one instance.
 
         The true per-object counts come from the footprint (the simulator's
@@ -41,6 +48,11 @@ class PEBSProfiler:
         for obj, true_count in footprint.accesses_by_object().items():
             sampled = self._rng.binomial(true_count, 1.0 / self.period)
             out[obj] = float(sampled) * self.period
+        self.last_window_flagged = False
+        if self.faults is not None:
+            out, self.last_window_flagged = self.faults.corrupt_window_counts(
+                out, now, source="pebs"
+            )
         return out
 
     def overhead_fraction(self) -> float:

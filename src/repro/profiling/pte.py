@@ -43,17 +43,21 @@ class PageSampleEstimate:
 class PTESampleProfiler:
     """Bounded random page sampling with accessed-bit semantics."""
 
-    def __init__(self, max_pages: int = 4096, seed=None) -> None:
+    def __init__(self, max_pages: int = 4096, seed=None, faults=None) -> None:
         if max_pages < 1:
             raise ValueError("max_pages must be >= 1")
         self.max_pages = max_pages
         self._rng = make_rng(seed)
+        #: optional :class:`~repro.sim.faults.FaultInjector` consulted per
+        #: scan (dropped/double-counted accessed-bit samples)
+        self.faults = faults
 
     def sample(
         self,
         page_table: PageTable,
         access_rates: dict[str, np.ndarray],
         interval_s: float,
+        now: float = 0.0,
     ) -> PageSampleEstimate:
         """Profile one interval of length ``interval_s`` seconds.
 
@@ -76,5 +80,7 @@ class PTESampleProfiler:
                 expected = rates[idx] * interval_s
                 counts = self._rng.poisson(np.maximum(expected, 0.0)).astype(np.float64)
             samples[name] = (idx, counts)
+        if self.faults is not None:
+            samples = self.faults.corrupt_pte_scan(samples, now)
         scale = total_pages / max(n, 1)
         return PageSampleEstimate(samples=samples, scale=scale)

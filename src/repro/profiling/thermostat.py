@@ -41,14 +41,19 @@ class RegionEstimate:
 class ThermostatProfiler:
     """One-page-in-512 sampling over each object's DRAM-resident span."""
 
-    def __init__(self, seed=None) -> None:
+    def __init__(self, seed=None, faults=None) -> None:
         self._rng = make_rng(seed)
+        #: optional :class:`~repro.sim.faults.FaultInjector`; Thermostat is
+        #: an accessed-bit scan like the PTE profiler, so whole region
+        #: estimates can be lost to the same scan faults
+        self.faults = faults
 
     def sample(
         self,
         page_table: PageTable,
         access_rates: dict[str, np.ndarray],
         interval_s: float,
+        now: float = 0.0,
     ) -> list[RegionEstimate]:
         """Estimate per-region access counts for every object.
 
@@ -78,4 +83,6 @@ class ThermostatProfiler:
                     estimated_accesses=counts * sizes,
                 )
             )
+        if self.faults is not None:
+            out = self.faults.corrupt_region_estimates(out, now)
         return out

@@ -12,7 +12,9 @@ package is its software stand-in (see DESIGN.md Section 2).  It provides:
 * :mod:`repro.sim.machine` -- the ground-truth execution-time model;
 * :mod:`repro.sim.counters` -- synthetic performance-monitor counters;
 * :mod:`repro.sim.engine` -- the virtual-time tick engine that runs
-  workloads under a placement policy, with bandwidth accounting and barriers.
+  workloads under a placement policy, with bandwidth accounting and barriers;
+* :mod:`repro.sim.faults` -- seeded fault injection (dropped samples,
+  corrupted PMCs, failed migrations, bandwidth/capacity disturbances).
 """
 
 from repro.sim.memspec import HMConfig, TierSpec, cxl_hm_config, optane_hm_config
@@ -20,6 +22,13 @@ from repro.sim.pages import PagedObject, PageTable
 from repro.sim.machine import MachineModel, MachineSpec, TimeBreakdown
 from repro.sim.counters import PMC_EVENTS, collect_pmcs
 from repro.sim.engine import Engine, EngineConfig, PlacementPolicy, RunResult
+from repro.sim.faults import (
+    FaultConfig,
+    FaultInjector,
+    RobustnessEvent,
+    RobustnessLog,
+    RobustnessReport,
+)
 
 __all__ = [
     "TierSpec",
@@ -37,4 +46,9 @@ __all__ = [
     "EngineConfig",
     "PlacementPolicy",
     "RunResult",
+    "FaultConfig",
+    "FaultInjector",
+    "RobustnessEvent",
+    "RobustnessLog",
+    "RobustnessReport",
 ]

@@ -27,6 +27,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from repro.common import PAGE_SIZE, make_rng
+from repro.sim.faults import FaultInjector, RobustnessReport
 from repro.sim.machine import MachineModel, TimeBreakdown
 from repro.sim.memspec import HMConfig
 from repro.sim.pages import MigrationBatch, PageTable
@@ -67,12 +68,15 @@ class EngineContext:
         machine: MachineModel,
         hm: HMConfig,
         rng: np.random.Generator,
+        faults: FaultInjector | None = None,
     ) -> None:
         self.workload = workload
         self.page_table = page_table
         self.machine = machine
         self.hm = hm
         self.rng = rng
+        #: fault injector the engine and profilers consult (None = healthy)
+        self.faults = faults
         self.time = 0.0
         self.region: ParallelRegion | None = None
         self.region_index = -1
@@ -85,6 +89,9 @@ class EngineContext:
         #: pages the engine will accept per tick (set each region from the
         #: migration bandwidth budget); policies should not request more
         self.migration_budget_pages = 1
+        #: migration batches (or parts of batches) that failed to apply,
+        #: for policies that implement retry; cleared at each region start
+        self.failed_migrations: list[MigrationBatch] = []
 
     # -- helpers policies rely on --------------------------------------
     def dram_fractions(self) -> dict[str, float]:
@@ -174,6 +181,8 @@ class RunResult:
     trace_dram_bw: np.ndarray
     trace_pm_bw: np.ndarray
     trace_migration_bw: np.ndarray
+    #: merged fault + guardrail events and per-kind counters for the run
+    robustness: RobustnessReport = field(default_factory=RobustnessReport)
 
     def task_busy_times(self) -> dict[str, float]:
         """Total busy time per task across all regions (Figure 5's metric)."""
@@ -210,12 +219,16 @@ class Engine:
         machine: MachineModel | None = None,
         hm: HMConfig | None = None,
         config: EngineConfig | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         from repro.sim.memspec import optane_hm_config
 
         self.machine = machine or MachineModel()
         self.hm = hm or optane_hm_config()
         self.config = config or EngineConfig()
+        #: optional fault injector; consulted by the tick loop and exposed
+        #: to policies/profilers through the engine context
+        self.faults = faults
 
     # ------------------------------------------------------------------
     def run(
@@ -231,7 +244,9 @@ class Engine:
             page_table = PageTable(
                 workload.objects, self.hm.dram.capacity_bytes, rng=rng
             )
-        ctx = EngineContext(workload, page_table, self.machine, self.hm, rng)
+        ctx = EngineContext(
+            workload, page_table, self.machine, self.hm, rng, faults=self.faults
+        )
         policy.on_workload_start(ctx)
 
         regions: list[RegionResult] = []
@@ -252,6 +267,8 @@ class Engine:
             regions.append(result)
             policy.on_region_end(ctx)
 
+        fault_log = self.faults.log if self.faults is not None else None
+        guard_log = getattr(policy, "guardrail_log", None)
         return RunResult(
             policy=policy.name,
             workload=workload.name,
@@ -262,6 +279,7 @@ class Engine:
             trace_dram_bw=np.asarray(trace_d),
             trace_pm_bw=np.asarray(trace_p),
             trace_migration_bw=np.asarray(trace_m),
+            robustness=RobustnessReport.merged(fault_log, guard_log),
         )
 
     # ------------------------------------------------------------------
@@ -297,6 +315,7 @@ class Engine:
         dt = max(max_t / cfg.ticks_per_instance, 1e-9)
         mig_budget_bytes = cfg.migration_bandwidth_fraction * self.hm.pm.read_bandwidth * dt
         ctx.migration_budget_pages = max(1, int(mig_budget_bytes // PAGE_SIZE))
+        ctx.failed_migrations.clear()
 
         ticks = 0
         while len(finish) < len(region.instances):
@@ -322,9 +341,16 @@ class Engine:
                 demand_dram += d * bd.dram_bytes
                 demand_pm += d * bd.pm_bytes
 
-            # phase 2: bandwidth contention scaling per tier
+            # phase 2: bandwidth contention scaling per tier.  Transient
+            # PM-bandwidth degradation (an injected environment fault)
+            # shrinks the PM cap for the affected ticks.
             cap_dram = self.hm.dram.read_bandwidth * dt
-            cap_pm = self.hm.pm.read_bandwidth * dt
+            pm_factor = (
+                self.faults.pm_bandwidth_factor(ctx.time)
+                if self.faults is not None
+                else 1.0
+            )
+            cap_pm = self.hm.pm.read_bandwidth * dt * pm_factor
             s_dram = min(1.0, cap_dram / demand_dram) if demand_dram > 0 else 1.0
             s_pm = min(1.0, cap_pm / demand_pm) if demand_pm > 0 else 1.0
 
@@ -353,20 +379,53 @@ class Engine:
                 tick_dram_bytes += done * bd.dram_bytes
                 tick_pm_bytes += done * bd.pm_bytes
 
-            # phase 3: policy-driven migration, throttled by bandwidth
+            # DRAM capacity-pressure spike: an external allocation steals
+            # capacity, so the kernel demotes our coldest pages to make room
+            # and promotions are admitted against the smaller DRAM.
+            pressure = (
+                self.faults.dram_pressure_bytes(
+                    ctx.time, ctx.page_table.dram_capacity_bytes
+                )
+                if self.faults is not None
+                else 0
+            )
+            if pressure > 0:
+                evicted = _evict_for_pressure(ctx.page_table, pressure)
+                if evicted:
+                    ctx.pages_migrated += evicted
+                    tick_pm_bytes += evicted * PAGE_SIZE
+                    tick_dram_bytes += evicted * PAGE_SIZE
+
+            # phase 3: policy-driven migration, throttled by bandwidth.
+            # Injected faults may reject the batch or fail part of it
+            # mid-copy.
             batch = policy.on_tick(ctx, dt)
             mig_bytes = 0.0
             if batch is not None and batch.n_pages > 0:
-                max_pages = max(1, int(mig_budget_bytes // PAGE_SIZE))
+                # migrations read PM, so a degraded PM shrinks their budget
+                max_pages = max(1, int(mig_budget_bytes * pm_factor // PAGE_SIZE))
                 batch = _clamp_batch(batch, max_pages)
-                moved = ctx.page_table.apply_batch(batch)
-                ctx.pages_migrated += moved
-                mig_bytes = moved * PAGE_SIZE
-                ctx.migration_overhead_s += moved * self.hm.page_migration_overhead_s
-                # migration reads PM and writes DRAM (promotions) or the
-                # reverse; charge both tiers the full copy traffic
-                tick_pm_bytes += mig_bytes
-                tick_dram_bytes += mig_bytes
+                if self.faults is not None:
+                    batch, failed = self.faults.migration_outcome(batch, ctx.time)
+                    if failed is not None:
+                        ctx.failed_migrations.append(failed)
+                if batch is not None and batch.n_pages > 0:
+                    table = ctx.page_table
+                    base_capacity = table.dram_capacity_bytes
+                    table.dram_capacity_bytes = max(0, base_capacity - pressure)
+                    try:
+                        moved = table.apply_batch(batch)
+                    finally:
+                        table.dram_capacity_bytes = base_capacity
+                    ctx.pages_migrated += moved
+                    mig_bytes = moved * PAGE_SIZE
+                    ctx.migration_overhead_s += (
+                        moved * self.hm.page_migration_overhead_s
+                    )
+                    # migration reads PM and writes DRAM (promotions) or the
+                    # reverse; charge both tiers the full copy traffic
+                    tick_pm_bytes += mig_bytes
+                    tick_dram_bytes += mig_bytes
 
             if cfg.record_bandwidth:
                 trace_t.append(ctx.time)
@@ -384,6 +443,25 @@ class Engine:
         return RegionResult(
             name=region.name, start_s=start, end_s=end, busy_s=busy, wait_s=wait
         )
+
+
+def _evict_for_pressure(table: PageTable, pressure_bytes: int) -> int:
+    """Demote the coldest DRAM pages until the table fits the capacity left
+    over by an external pressure spike.  Returns pages evicted."""
+    capacity_pages = max(0, (table.dram_capacity_bytes - pressure_bytes) // PAGE_SIZE)
+    used = int(sum(obj.dram_pages() for obj in table))
+    need = used - capacity_pages
+    if need <= 0:
+        return 0
+    evicted = 0
+    for obj in sorted(table, key=lambda o: o.dram_access_fraction()):
+        if evicted >= need:
+            break
+        cold = obj.coldest_dram_pages(limit=need - evicted)
+        if len(cold):
+            obj.residency[cold] = 0.0
+            evicted += len(cold)
+    return evicted
 
 
 def _clamp_batch(batch: MigrationBatch, max_pages: int) -> MigrationBatch:

@@ -1,0 +1,427 @@
+"""Seeded, composable fault injection for the simulated runtime.
+
+Real heterogeneous-memory runtimes live on imperfect information: PEBS
+windows get dropped under interrupt pressure, PTE accessed-bit scans race
+with the applications they observe, PMC multiplexing returns stale or
+garbage counts, ``move_pages`` batches fail halfway, PM bandwidth sags when
+a neighbour saturates the DIMMs, and applications misreport object sizes to
+the registration API.  The paper's premise is that placement systems must
+behave sensibly under exactly these conditions, so the simulator makes
+every one of them injectable.
+
+A single :class:`FaultInjector` is owned by the engine and consulted by the
+tick loop and by every profiler.  All draws come from one seeded generator,
+so a faulty run is exactly as reproducible as a clean one.  Every injected
+fault is recorded as a typed :class:`RobustnessEvent` ("fault.*" kinds);
+guardrails (see :mod:`repro.core.guardrails`) log their reactions into the
+same event vocabulary ("guardrail.*" kinds), and the engine surfaces both
+through :class:`~repro.sim.engine.RunResult`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+import numpy as np
+
+from repro.common import PAGE_SIZE, make_rng
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "RobustnessEvent",
+    "RobustnessLog",
+    "RobustnessReport",
+]
+
+
+# ----------------------------------------------------------------------
+# structured event log (shared vocabulary for faults and guardrails)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RobustnessEvent:
+    """One typed robustness occurrence: an injected fault or a guardrail
+    reaction.  ``kind`` is namespaced: ``fault.*`` or ``guardrail.*``."""
+
+    kind: str
+    time_s: float
+    detail: dict[str, object] = field(default_factory=dict)
+
+
+class RobustnessLog:
+    """Append-only event list plus per-kind counters."""
+
+    def __init__(self) -> None:
+        self.events: list[RobustnessEvent] = []
+        self.counters: dict[str, int] = {}
+
+    def record(self, kind: str, time_s: float = 0.0, **detail: object) -> None:
+        self.events.append(RobustnessEvent(kind=kind, time_s=time_s, detail=detail))
+        self.counters[kind] = self.counters.get(kind, 0) + 1
+
+    def count(self, kind: str) -> int:
+        return self.counters.get(kind, 0)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.counters.clear()
+
+
+@dataclass
+class RobustnessReport:
+    """The merged fault + guardrail record of one engine run.
+
+    Carried on :class:`~repro.sim.engine.RunResult` so experiments and
+    tests can assert on guardrail behaviour without reaching into policy
+    internals.
+    """
+
+    events: list[RobustnessEvent] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def merged(cls, *logs: RobustnessLog | None) -> "RobustnessReport":
+        events: list[RobustnessEvent] = []
+        counters: dict[str, int] = {}
+        for log in logs:
+            if log is None:
+                continue
+            events.extend(log.events)
+            for kind, n in log.counters.items():
+                counters[kind] = counters.get(kind, 0) + n
+        events.sort(key=lambda e: e.time_s)
+        return cls(events=events, counters=counters)
+
+    # -- convenience filters -------------------------------------------
+    def fault_events(self) -> list[RobustnessEvent]:
+        return [e for e in self.events if e.kind.startswith("fault.")]
+
+    def guardrail_events(self) -> list[RobustnessEvent]:
+        return [e for e in self.events if e.kind.startswith("guardrail.")]
+
+    def guardrail_counters(self) -> dict[str, int]:
+        return {k: v for k, v in self.counters.items() if k.startswith("guardrail.")}
+
+    def count(self, kind: str) -> int:
+        return self.counters.get(kind, 0)
+
+
+# ----------------------------------------------------------------------
+# fault models
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultConfig:
+    """Rates and magnitudes of every injectable fault (all off by default).
+
+    Rates are per-opportunity probabilities: per PEBS window, per PTE scan,
+    per PMC read, per migration batch, per engine tick, per size lookup.
+    ``start_s``/``end_s`` bound the virtual-time window in which faults are
+    live, so experiments can model transient disturbances (and demonstrate
+    recovery once the window closes).
+    """
+
+    # -- sampling-profiler faults --------------------------------------
+    #: probability a whole PEBS window is dropped (counts lost)
+    pebs_drop_rate: float = 0.0
+    #: probability a PEBS window is delivered twice (counts double)
+    pebs_duplicate_rate: float = 0.0
+    #: per-scan probability that a fraction of PTE samples is lost
+    pte_drop_rate: float = 0.0
+    #: per-scan probability that sampled counts are double-counted
+    pte_duplicate_rate: float = 0.0
+    #: fraction of a scan's sampled pages affected when a PTE fault fires
+    pte_fault_fraction: float = 0.5
+
+    # -- PMC faults ----------------------------------------------------
+    #: probability a PMC read returns the previous read (stale multiplexing)
+    pmc_stale_rate: float = 0.0
+    #: probability a PMC read comes back corrupted (wild scales, NaN)
+    pmc_corrupt_rate: float = 0.0
+    #: fraction of events scrambled in a corrupted read
+    pmc_corrupt_fraction: float = 0.25
+    #: chance a corrupted event is NaN rather than wildly scaled
+    pmc_nan_chance: float = 0.2
+
+    # -- migration faults ----------------------------------------------
+    #: per-batch probability that part of the batch fails mid-copy
+    migration_fail_rate: float = 0.0
+    #: per-batch probability that the kernel rejects the whole batch
+    migration_reject_rate: float = 0.0
+
+    # -- environment faults --------------------------------------------
+    #: per-tick probability that a PM-bandwidth degradation window starts
+    pm_bw_degradation_rate: float = 0.0
+    #: bandwidth multiplier while degraded (0.5 = half bandwidth)
+    pm_bw_degradation_factor: float = 0.5
+    #: length of a degradation window in virtual seconds
+    pm_bw_degradation_duration_s: float = 0.25
+    #: per-tick probability that a DRAM capacity-pressure spike starts
+    dram_pressure_rate: float = 0.0
+    #: fraction of DRAM capacity stolen by the spike
+    dram_pressure_fraction: float = 0.25
+    #: length of a pressure spike in virtual seconds
+    dram_pressure_duration_s: float = 0.25
+
+    # -- API faults ----------------------------------------------------
+    #: per-object probability that ``LB_HM_config`` sizes are misreported
+    object_size_error_rate: float = 0.0
+    #: misreport magnitude (reported = true * factor or true / factor)
+    object_size_error_factor: float = 8.0
+
+    # -- activity window -----------------------------------------------
+    start_s: float = 0.0
+    end_s: float = math.inf
+
+    @property
+    def any_enabled(self) -> bool:
+        return any(
+            getattr(self, name) > 0.0
+            for name in (
+                "pebs_drop_rate",
+                "pebs_duplicate_rate",
+                "pte_drop_rate",
+                "pte_duplicate_rate",
+                "pmc_stale_rate",
+                "pmc_corrupt_rate",
+                "migration_fail_rate",
+                "migration_reject_rate",
+                "pm_bw_degradation_rate",
+                "dram_pressure_rate",
+                "object_size_error_rate",
+            )
+        )
+
+    def scaled(self, severity: float) -> "FaultConfig":
+        """This config with every rate multiplied by ``severity``."""
+        rates = {
+            name: min(1.0, getattr(self, name) * severity)
+            for name in (
+                "pebs_drop_rate",
+                "pebs_duplicate_rate",
+                "pte_drop_rate",
+                "pte_duplicate_rate",
+                "pmc_stale_rate",
+                "pmc_corrupt_rate",
+                "migration_fail_rate",
+                "migration_reject_rate",
+                "pm_bw_degradation_rate",
+                "dram_pressure_rate",
+                "object_size_error_rate",
+            )
+        }
+        return replace(self, **rates)
+
+
+class FaultInjector:
+    """Draws faults from one seeded stream and logs every injection.
+
+    The injector is stateless across runs only if :meth:`reset` is called
+    (or a fresh injector is built per run, which is what the robustness
+    experiment does): PMC staleness and the environment fault windows are
+    genuinely stateful within a run.
+    """
+
+    def __init__(self, config: FaultConfig, seed=None) -> None:
+        self.config = config
+        self._rng = make_rng(seed)
+        self.log = RobustnessLog()
+        self._last_pmcs: dict[str, float] | None = None
+        self._pm_bw_until_s = -math.inf
+        self._dram_pressure_until_s = -math.inf
+        self._dram_pressure_bytes = 0
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self.log.clear()
+        self._last_pmcs = None
+        self._pm_bw_until_s = -math.inf
+        self._dram_pressure_until_s = -math.inf
+        self._dram_pressure_bytes = 0
+
+    def _active(self, now: float) -> bool:
+        return self.config.start_s <= now <= self.config.end_s
+
+    def _fire(self, rate: float, now: float) -> bool:
+        return rate > 0.0 and self._active(now) and self._rng.random() < rate
+
+    # ------------------------------------------------------------------
+    # profiler faults
+    # ------------------------------------------------------------------
+    def corrupt_window_counts(
+        self, counts: dict[str, float], now: float, source: str = "pebs"
+    ) -> tuple[dict[str, float], bool]:
+        """Apply drop/duplicate faults to one sampling window's per-object
+        counts.  Returns (possibly-corrupted counts, fault-flagged?).
+
+        Used for PEBS refinement windows and for the hybrid base-input
+        profile (both are event-sampled count windows).
+        """
+        if self._fire(self.config.pebs_drop_rate, now):
+            self.log.record(f"fault.{source}_drop", now, objects=len(counts))
+            return ({k: 0.0 for k in counts}, True)
+        if self._fire(self.config.pebs_duplicate_rate, now):
+            self.log.record(f"fault.{source}_duplicate", now, objects=len(counts))
+            return ({k: 2.0 * v for k, v in counts.items()}, True)
+        return (counts, False)
+
+    def corrupt_pte_scan(
+        self, samples: dict[str, tuple[np.ndarray, np.ndarray]], now: float
+    ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Drop or double-count a fraction of one PTE scan's samples."""
+        frac = self.config.pte_fault_fraction
+        if self._fire(self.config.pte_drop_rate, now):
+            self.log.record("fault.pte_drop", now, fraction=frac)
+            out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+            for name, (idx, cnt) in samples.items():
+                keep = self._rng.random(len(idx)) >= frac
+                out[name] = (idx[keep], cnt[keep])
+            return out
+        if self._fire(self.config.pte_duplicate_rate, now):
+            self.log.record("fault.pte_duplicate", now, fraction=frac)
+            out = {}
+            for name, (idx, cnt) in samples.items():
+                dup = self._rng.random(len(idx)) < frac
+                boosted = cnt.copy()
+                boosted[dup] *= 2.0
+                out[name] = (idx, boosted)
+            return out
+        return samples
+
+    def corrupt_region_estimates(self, estimates: list, now: float) -> list:
+        """Drop a fraction of Thermostat region estimates (reuses the PTE
+        drop rate: both are accessed-bit scans)."""
+        if not self._fire(self.config.pte_drop_rate, now):
+            return estimates
+        self.log.record("fault.thermostat_drop", now, regions=len(estimates))
+        keep = self._rng.random(len(estimates)) >= self.config.pte_fault_fraction
+        return [est for est, k in zip(estimates, keep) if k]
+
+    # ------------------------------------------------------------------
+    # PMC faults
+    # ------------------------------------------------------------------
+    def corrupt_pmc_read(
+        self, pmcs: dict[str, float], now: float
+    ) -> dict[str, float]:
+        """Stale or corrupted performance-counter reads.
+
+        Stale reads return the *previous* read (counter-multiplexing lag);
+        corrupted reads scramble a fraction of events with wild scale
+        factors or NaN.  The true read always becomes the next "previous".
+        """
+        out = pmcs
+        if self._fire(self.config.pmc_stale_rate, now) and self._last_pmcs is not None:
+            self.log.record("fault.pmc_stale", now)
+            out = dict(self._last_pmcs)
+        elif self._fire(self.config.pmc_corrupt_rate, now):
+            out = dict(pmcs)
+            names = list(out)
+            n_bad = max(1, int(round(self.config.pmc_corrupt_fraction * len(names))))
+            bad = self._rng.choice(len(names), size=n_bad, replace=False)
+            n_nan = 0
+            for i in bad:
+                if self._rng.random() < self.config.pmc_nan_chance:
+                    out[names[i]] = float("nan")
+                    n_nan += 1
+                else:
+                    out[names[i]] *= float(self._rng.uniform(20.0, 200.0))
+            self.log.record("fault.pmc_corrupt", now, events=n_bad, nans=n_nan)
+        self._last_pmcs = dict(pmcs)
+        return out
+
+    # ------------------------------------------------------------------
+    # migration faults
+    # ------------------------------------------------------------------
+    def migration_outcome(self, batch, now: float):
+        """Split a requested :class:`MigrationBatch` into (applied, failed).
+
+        Either part may be ``None``.  A *rejected* batch fails entirely
+        (kernel returned EBUSY for the whole request); a *partially failed*
+        batch loses a random subset of its pages mid-copy.
+        """
+        from repro.sim.pages import MigrationBatch
+
+        if self._fire(self.config.migration_reject_rate, now):
+            self.log.record("fault.migration_reject", now, pages=batch.n_pages)
+            return None, batch
+        if not self._fire(self.config.migration_fail_rate, now):
+            return batch, None
+        fail_frac = float(self._rng.uniform(0.3, 0.9))
+        applied_moves: list[tuple[str, np.ndarray, bool]] = []
+        failed_moves: list[tuple[str, np.ndarray, bool]] = []
+        for name, idx, promote in batch.moves:
+            lost = self._rng.random(len(idx)) < fail_frac
+            if (~lost).any():
+                applied_moves.append((name, idx[~lost], promote))
+            if lost.any():
+                failed_moves.append((name, idx[lost], promote))
+        failed = MigrationBatch(moves=tuple(failed_moves)) if failed_moves else None
+        applied = MigrationBatch(moves=tuple(applied_moves)) if applied_moves else None
+        self.log.record(
+            "fault.migration_partial",
+            now,
+            pages_failed=failed.n_pages if failed else 0,
+            pages_applied=applied.n_pages if applied else 0,
+        )
+        return applied, failed
+
+    # ------------------------------------------------------------------
+    # environment faults
+    # ------------------------------------------------------------------
+    def pm_bandwidth_factor(self, now: float) -> float:
+        """Current PM bandwidth multiplier (1.0 when healthy)."""
+        if now <= self._pm_bw_until_s:
+            return self.config.pm_bw_degradation_factor
+        if self._fire(self.config.pm_bw_degradation_rate, now):
+            self._pm_bw_until_s = now + self.config.pm_bw_degradation_duration_s
+            self.log.record(
+                "fault.pm_bw_degraded",
+                now,
+                factor=self.config.pm_bw_degradation_factor,
+                until_s=self._pm_bw_until_s,
+            )
+            return self.config.pm_bw_degradation_factor
+        return 1.0
+
+    def dram_pressure_bytes(self, now: float, capacity_bytes: int) -> int:
+        """Bytes of DRAM currently stolen by an external pressure spike."""
+        if now <= self._dram_pressure_until_s:
+            return self._dram_pressure_bytes
+        if self._fire(self.config.dram_pressure_rate, now):
+            stolen = int(self.config.dram_pressure_fraction * capacity_bytes)
+            stolen = (stolen // PAGE_SIZE) * PAGE_SIZE
+            self._dram_pressure_until_s = now + self.config.dram_pressure_duration_s
+            self._dram_pressure_bytes = stolen
+            self.log.record(
+                "fault.dram_pressure",
+                now,
+                bytes=stolen,
+                until_s=self._dram_pressure_until_s,
+            )
+            return stolen
+        self._dram_pressure_bytes = 0
+        return 0
+
+    # ------------------------------------------------------------------
+    # API faults
+    # ------------------------------------------------------------------
+    def corrupt_object_sizes(
+        self, sizes: Mapping[str, int], now: float
+    ) -> dict[str, int]:
+        """Misreport per-object sizes from the ``LB_HM_config`` contract."""
+        rate = self.config.object_size_error_rate
+        if rate <= 0.0 or not self._active(now):
+            return dict(sizes)
+        out: dict[str, int] = {}
+        factor = self.config.object_size_error_factor
+        for name, size in sizes.items():
+            if self._rng.random() < rate:
+                scale = factor if self._rng.random() < 0.5 else 1.0 / factor
+                out[name] = max(1, int(size * scale))
+                self.log.record(
+                    "fault.object_size_misreport", now, object=name, scale=scale
+                )
+            else:
+                out[name] = int(size)
+        return out

@@ -1,0 +1,255 @@
+"""Unit + integration tests for the runtime guardrail layer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps import SpGEMMApp
+from repro.baselines import MemoryModePolicy
+from repro.core import default_system
+from repro.core.guardrails import (
+    GuardrailConfig,
+    Guardrails,
+    MigrationRetrier,
+    MispredictionWatchdog,
+    QuotaValidator,
+)
+from repro.sim import (
+    Engine,
+    FaultConfig,
+    FaultInjector,
+    MachineModel,
+    optane_hm_config,
+)
+from repro.sim.faults import RobustnessLog
+from repro.sim.pages import MigrationBatch
+
+
+def batch(n=16) -> MigrationBatch:
+    return MigrationBatch(moves=(("obj", np.arange(n), True),))
+
+
+@pytest.fixture
+def log():
+    return RobustnessLog()
+
+
+class TestMigrationRetrier:
+    def test_failure_schedules_retry_with_backoff(self, log):
+        r = MigrationRetrier(GuardrailConfig(retry_backoff_s=0.1), log)
+        r.on_failure(batch(), now=1.0)
+        assert r.pending == 16
+        assert log.count("guardrail.retry_scheduled") == 1
+        # not due before the backoff elapses
+        moves, attempts = r.pop_due(1.05)
+        assert moves == [] and attempts == 0
+        moves, attempts = r.pop_due(1.1)
+        assert len(moves) == 1 and attempts == 1
+        assert r.pending == 0
+
+    def test_backoff_doubles_per_attempt(self, log):
+        r = MigrationRetrier(GuardrailConfig(retry_backoff_s=0.1), log)
+        r.note_emitted(1)  # last tick carried a first retry
+        r.on_failure(batch(), now=0.0)  # second attempt
+        assert log.events[-1].detail["at_s"] == pytest.approx(0.2)
+
+    def test_exhaustion_drops_batch(self, log):
+        r = MigrationRetrier(GuardrailConfig(max_retry_attempts=3), log)
+        r.note_emitted(3)  # the third (final) attempt just went out
+        r.on_failure(batch(), now=0.0)
+        assert r.pending == 0
+        assert log.count("guardrail.retry_dropped") == 1
+        assert log.count("guardrail.retry_scheduled") == 0
+
+    def test_full_retry_lifecycle(self, log):
+        cfg = GuardrailConfig(max_retry_attempts=2, retry_backoff_s=0.01)
+        r = MigrationRetrier(cfg, log)
+        now = 0.0
+        for expected_attempt in (1, 2):
+            r.on_failure(batch(), now)
+            now += 1.0
+            moves, attempts = r.pop_due(now)
+            assert attempts == expected_attempt and moves
+            r.note_emitted(attempts)
+        r.on_failure(batch(), now)  # third failure -> give up
+        assert log.count("guardrail.retry_scheduled") == 2
+        assert log.count("guardrail.retry_dropped") == 1
+
+
+class TestQuotaValidator:
+    def test_healthy_values_become_lkg(self, log):
+        v = QuotaValidator(GuardrailConfig(), log)
+        assert v.validate_inputs("k", 1.0, 2.0, 100.0, 0.0) == (1.0, 2.0, 100.0)
+        assert log.events == []
+
+    def test_nan_without_lkg_returns_none(self, log):
+        v = QuotaValidator(GuardrailConfig(), log)
+        assert v.validate_inputs("k", math.nan, 2.0, 100.0, 0.0) is None
+        assert log.count("guardrail.quota_clamp") == 1
+        assert log.events[0].detail["recovered"] is False
+
+    def test_insane_values_clamp_to_lkg(self, log):
+        v = QuotaValidator(GuardrailConfig(max_ratio=10.0), log)
+        v.validate_inputs("k", 1.0, 2.0, 100.0, 0.0)
+        # 50x jump on t_dram: rejected, last known good returned
+        assert v.validate_inputs("k", 50.0, 2.0, 100.0, 1.0) == (1.0, 2.0, 100.0)
+        assert log.events[-1].detail["recovered"] is True
+        # within 10x: accepted and becomes the new LKG
+        assert v.validate_inputs("k", 5.0, 2.0, 100.0, 2.0) == (5.0, 2.0, 100.0)
+
+    def test_non_positive_rejected(self, log):
+        v = QuotaValidator(GuardrailConfig(), log)
+        v.validate_inputs("k", 1.0, 2.0, 100.0, 0.0)
+        assert v.validate_inputs("k", -1.0, 2.0, 100.0, 1.0) == (1.0, 2.0, 100.0)
+        assert v.validate_inputs("k", 1.0, 0.0, 100.0, 2.0) == (1.0, 2.0, 100.0)
+
+    def test_keys_are_independent(self, log):
+        v = QuotaValidator(GuardrailConfig(), log)
+        v.validate_inputs("a", 1.0, 2.0, 100.0, 0.0)
+        assert v.validate_inputs("b", math.inf, 2.0, 100.0, 1.0) is None
+
+
+class TestMispredictionWatchdog:
+    def wd(self, log, **kw):
+        return MispredictionWatchdog(GuardrailConfig(**kw), log)
+
+    def test_finishing_early_is_never_bad(self, log):
+        wd = self.wd(log, watchdog_trip_after=1)
+        for _ in range(10):
+            wd.observe(predicted_s=10.0, measured_s=1.0, now=0.0)
+        assert not wd.degraded and log.events == []
+
+    def test_trips_after_consecutive_bad_regions(self, log):
+        wd = self.wd(log, watchdog_trip_after=3)
+        wd.observe(10.0, 20.0, 0.0)
+        wd.observe(10.0, 20.0, 1.0)
+        assert not wd.degraded
+        wd.observe(10.0, 20.0, 2.0)
+        assert wd.degraded
+        assert log.count("guardrail.watchdog_degrade") == 1
+
+    def test_good_region_resets_streak(self, log):
+        wd = self.wd(log, watchdog_trip_after=3)
+        wd.observe(10.0, 20.0, 0.0)
+        wd.observe(10.0, 20.0, 1.0)
+        wd.observe(10.0, 10.0, 2.0)  # accurate -> streak resets
+        wd.observe(10.0, 20.0, 3.0)
+        wd.observe(10.0, 20.0, 4.0)
+        assert not wd.degraded
+
+    def test_rearms_after_consecutive_good_regions(self, log):
+        wd = self.wd(log, watchdog_trip_after=1, watchdog_rearm_after=2)
+        wd.observe(10.0, 20.0, 0.0)
+        assert wd.degraded
+        wd.observe(10.0, 10.5, 1.0)
+        assert wd.degraded
+        wd.observe(10.0, 10.5, 2.0)
+        assert not wd.degraded
+        assert log.count("guardrail.watchdog_rearm") == 1
+
+    def test_bad_region_while_degraded_resets_good_streak(self, log):
+        wd = self.wd(log, watchdog_trip_after=1, watchdog_rearm_after=2)
+        wd.observe(10.0, 20.0, 0.0)
+        wd.observe(10.0, 10.0, 1.0)
+        wd.observe(10.0, 20.0, 2.0)  # still misbehaving
+        wd.observe(10.0, 10.0, 3.0)
+        assert wd.degraded  # good streak was reset, needs 2 in a row
+
+    def test_nonfinite_prediction_is_bad(self, log):
+        wd = self.wd(log, watchdog_trip_after=1)
+        wd.observe(math.nan, 10.0, 0.0)
+        assert wd.degraded
+
+
+class TestGuardrailsFacade:
+    def test_alpha_quarantine_logged(self):
+        g = Guardrails()
+        g.quarantine_alpha("spgemm/phase", 3.0)
+        assert g.log.count("guardrail.alpha_quarantine") == 1
+
+    def test_base_requeue_bounded(self):
+        g = Guardrails(GuardrailConfig(max_base_reprofiles=2))
+        assert g.may_requeue_base("k", 0.0, "flagged_window")
+        assert g.may_requeue_base("k", 1.0, "flagged_window")
+        assert not g.may_requeue_base("k", 2.0, "flagged_window")
+        assert g.log.count("guardrail.base_profile_requeued") == 2
+        # other keys have their own budget
+        assert g.may_requeue_base("other", 3.0, "invalid_model_inputs")
+
+
+# ----------------------------------------------------------------------
+# policy-level behaviour
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def system():
+    return default_system(seed=0, fast=True)
+
+
+@pytest.fixture(scope="module")
+def app():
+    return SpGEMMApp.small(seed=0)
+
+
+@pytest.fixture(scope="module")
+def workload(app):
+    return app.build_workload(seed=0)
+
+
+def run_guarded(system, app, workload, faults):
+    policy = system.policy(
+        app.binding(workload), seed=0, guardrails=GuardrailConfig()
+    )
+    engine = Engine(MachineModel(), optane_hm_config(), faults=faults)
+    return engine.run(workload, policy, seed=1)
+
+
+class TestPolicyIntegration:
+    def test_fault_free_run_is_guardrail_silent(self, system, app, workload):
+        result = run_guarded(system, app, workload, faults=None)
+        assert result.robustness.guardrail_counters() == {}
+        assert result.robustness.events == []
+
+    def test_flagged_pebs_windows_are_quarantined(self, system, app, workload):
+        # window the fault past iter0 so base profiling succeeds and the
+        # flagged windows hit the *refinement* path
+        faults = FaultInjector(
+            FaultConfig(pebs_duplicate_rate=1.0, start_s=70.0), seed=3
+        )
+        result = run_guarded(system, app, workload, faults)
+        assert result.robustness.count("guardrail.alpha_quarantine") > 0
+
+    def test_base_requeue_bounded_at_policy_level(self, system, app, workload):
+        # every base window flagged: each profile key may be requeued at
+        # most max_base_reprofiles times
+        faults = FaultInjector(FaultConfig(pebs_duplicate_rate=1.0), seed=3)
+        result = run_guarded(system, app, workload, faults)
+        requeues = [
+            e
+            for e in result.robustness.guardrail_events()
+            if e.kind == "guardrail.base_profile_requeued"
+        ]
+        assert requeues
+        per_key: dict = {}
+        for e in requeues:
+            per_key[e.detail["key"]] = per_key.get(e.detail["key"], 0) + 1
+        assert max(per_key.values()) <= GuardrailConfig().max_base_reprofiles
+
+    def test_migration_faults_trigger_retries(self, system, app, workload):
+        faults = FaultInjector(FaultConfig(migration_fail_rate=0.5), seed=3)
+        result = run_guarded(system, app, workload, faults)
+        assert result.robustness.count("guardrail.retry_scheduled") > 0
+
+    def test_guarded_never_worse_than_memory_mode(self, system, app, workload):
+        """The issue's acceptance bar: guarded Merchandiser under 10%% failed
+        migrations + 5%% corrupt PMCs must not end up behind the placement-
+        oblivious memory-mode baseline."""
+        cfg = FaultConfig(migration_fail_rate=0.10, pmc_corrupt_rate=0.05)
+        guarded = run_guarded(
+            system, app, workload, FaultInjector(cfg, seed=11)
+        )
+        baseline_engine = Engine(
+            MachineModel(), optane_hm_config(), faults=FaultInjector(cfg, seed=11)
+        )
+        baseline = baseline_engine.run(workload, MemoryModePolicy(), seed=1)
+        assert guarded.total_time_s <= baseline.total_time_s

@@ -14,7 +14,7 @@ class TestRegistry:
     def test_expected_names(self):
         for name in ("table1", "table2", "fig3", "fig4", "fig5", "fig6",
                      "fig7", "table3", "table4", "overhead", "ablation",
-                     "extensibility", "sensitivity"):
+                     "extensibility", "sensitivity", "robustness"):
             assert name in runner.EXPERIMENTS
 
 
@@ -41,3 +41,34 @@ class TestCli:
 
     def test_seed_flag(self, capsys):
         assert runner.main(["table1", "--seed", "3"]) == 0
+
+
+class TestFailureIsolation:
+    def test_one_broken_experiment_does_not_stop_the_rest(
+        self, monkeypatch, capsys
+    ):
+        def boom(ctx):
+            raise RuntimeError("synthetic experiment failure")
+
+        ran = []
+
+        def ok(ctx):
+            ran.append("ok")
+            return {"fine": True}
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "table1", boom)
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig3", ok)
+        assert runner.main(["table1", "fig3"]) == 1
+        captured = capsys.readouterr()
+        assert "synthetic experiment failure" in captured.err  # traceback
+        assert "table1 FAILED" in captured.out
+        assert "FAILED experiments: table1" in captured.out
+        assert ran == ["ok"]  # the healthy experiment still ran
+
+    def test_failed_experiment_writes_no_json(self, monkeypatch, tmp_path):
+        def boom(ctx):
+            raise RuntimeError("nope")
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "table1", boom)
+        assert runner.main(["table1", "--json", str(tmp_path)]) == 1
+        assert not (tmp_path / "table1.json").exists()
