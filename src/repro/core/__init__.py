@@ -10,6 +10,8 @@ Modules map one-to-one onto the paper's sections:
 * :mod:`repro.core.model`       -- Section 5, Equation 2;
 * :mod:`repro.core.planner`     -- Section 6, Algorithm 1 (+ optimal oracle);
 * :mod:`repro.core.runtime`     -- Sections 3/6, the runtime policy;
+* :mod:`repro.core.journal`     -- our extension: crash-consistent control
+  plane (WAL-backed transactional migration epochs + recovery replay);
 * :mod:`repro.core.api`         -- the user-facing API and system facade.
 """
 
@@ -24,6 +26,15 @@ from repro.core.correlation import (
 )
 from repro.core.estimator import AccessEstimator, ObjectDescriptor
 from repro.core.homogeneous import BasicBlock, HomogeneousPredictor, input_similarity_scale
+from repro.core.journal import (
+    CrashImage,
+    RecoveryOutcome,
+    SimulatedCrash,
+    WalRecord,
+    WriteAheadLog,
+    recover_journal,
+    verify_placement,
+)
 from repro.core.model import PerformanceModel, TaskModelInputs
 from repro.core.patterns import Affine, ArrayRef, Indirect, Loop, classify_kernel
 from repro.core.planner import PlanResult, TaskQuota, greedy_plan, optimal_quotas, throughput_plan
@@ -60,4 +71,11 @@ __all__ = [
     "classify_kernel",
     "ApplicationBinding",
     "MerchandiserPolicy",
+    "WalRecord",
+    "WriteAheadLog",
+    "CrashImage",
+    "SimulatedCrash",
+    "RecoveryOutcome",
+    "recover_journal",
+    "verify_placement",
 ]

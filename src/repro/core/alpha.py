@@ -209,3 +209,26 @@ class AlphaTable:
         if not self._refiners:
             return 1.0
         return sum(r.alpha for r in self._refiners.values()) / len(self._refiners)
+
+    # -- crash-consistency checkpoints (repro.core.journal) ------------
+    def snapshot_state(self) -> dict:
+        """JSON-able refiner state (the online-learned part of the table;
+        analytic and microbenchmark alphas are recomputable)."""
+        return {
+            "eta": self._eta,
+            "refiners": {
+                name: {"eta": r.eta, "alpha": r.alpha, "updates": r.updates}
+                for name, r in self._refiners.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._eta = float(state["eta"])
+        self._refiners = {
+            name: AlphaRefiner(
+                eta=float(r["eta"]),
+                alpha=float(r["alpha"]),
+                updates=int(r["updates"]),
+            )
+            for name, r in state["refiners"].items()
+        }

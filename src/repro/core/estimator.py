@@ -124,6 +124,24 @@ class AccessEstimator:
         )
         return base_footprint.scaled(factors, instr_factor=instr_factor)
 
+    # -- crash-consistency checkpoints (repro.core.journal) ------------
+    def snapshot_state(self) -> dict:
+        """JSON-able learned state: base profile plus refined alphas.
+
+        Descriptors are static-analysis facts the binding regenerates, so
+        they are not checkpointed; restore assumes the same descriptors.
+        """
+        return {
+            "base_sizes": dict(self._base_sizes),
+            "base_counts": dict(self._base_counts),
+            "alphas": self.alphas.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._base_sizes = {k: int(v) for k, v in state["base_sizes"].items()}
+        self._base_counts = {k: float(v) for k, v in state["base_counts"].items()}
+        self.alphas.restore_state(state["alphas"])
+
     # ------------------------------------------------------------------
     def refine(
         self, new_sizes: Mapping[str, int], measured: Mapping[str, float]

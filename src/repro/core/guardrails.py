@@ -120,6 +120,47 @@ class MigrationRetrier:
     def pending(self) -> int:
         return sum(batch.n_pages for batch, _, _ in self._queue)
 
+    # -- crash-consistency checkpoints ---------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "emitted_attempts": self._emitted_attempts,
+            "queue": [
+                {
+                    "attempt": attempt,
+                    "not_before_s": not_before,
+                    "moves": [
+                        {
+                            "obj": name,
+                            "pages": [int(p) for p in idx],
+                            "promote": bool(promote),
+                        }
+                        for name, idx, promote in batch.moves
+                    ],
+                }
+                for batch, attempt, not_before in self._queue
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._emitted_attempts = int(state["emitted_attempts"])
+        self._queue = [
+            (
+                MigrationBatch(
+                    moves=tuple(
+                        (
+                            move["obj"],
+                            np.asarray(move["pages"], dtype=np.intp),
+                            bool(move["promote"]),
+                        )
+                        for move in entry["moves"]
+                    )
+                ),
+                int(entry["attempt"]),
+                float(entry["not_before_s"]),
+            )
+            for entry in state["queue"]
+        ]
+
 
 class QuotaValidator:
     """Clamp insane estimator/model outputs to the last known good."""
@@ -160,6 +201,16 @@ class QuotaValidator:
             recovered=lkg is not None,
         )
         return lkg
+
+    # -- crash-consistency checkpoints ---------------------------------
+    def snapshot_state(self) -> dict:
+        return {"lkg": {k: [float(x) for x in v] for k, v in self._lkg.items()}}
+
+    def restore_state(self, state: dict) -> None:
+        self._lkg = {
+            k: (float(v[0]), float(v[1]), float(v[2]))
+            for k, v in state["lkg"].items()
+        }
 
 
 class MispredictionWatchdog:
@@ -215,6 +266,19 @@ class MispredictionWatchdog:
                     "guardrail.watchdog_rearm", now, error=float(error)
                 )
 
+    # -- crash-consistency checkpoints ---------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "degraded": self.degraded,
+            "bad_streak": self._bad_streak,
+            "good_streak": self._good_streak,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.degraded = bool(state["degraded"])
+        self._bad_streak = int(state["bad_streak"])
+        self._good_streak = int(state["good_streak"])
+
 
 class Guardrails:
     """The assembled guardrail layer one policy instance owns."""
@@ -243,3 +307,21 @@ class Guardrails:
             "guardrail.base_profile_requeued", now, key=key, reason=reason
         )
         return True
+
+    # -- crash-consistency checkpoints ---------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-able guardrail state.  The event log is deliberately not
+        checkpointed: events are per-incarnation observability, and a
+        recovered run reports its own."""
+        return {
+            "retrier": self.retrier.snapshot_state(),
+            "validator": self.validator.snapshot_state(),
+            "watchdog": self.watchdog.snapshot_state(),
+            "reprofiles": dict(self._reprofiles),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.retrier.restore_state(state["retrier"])
+        self.validator.restore_state(state["validator"])
+        self.watchdog.restore_state(state["watchdog"])
+        self._reprofiles = {k: int(v) for k, v in state["reprofiles"].items()}

@@ -121,3 +121,36 @@ class HomogeneousPredictor:
             t_dram += count * scale * ud
             t_pm += count * scale * up
         return t_dram, t_pm
+
+    # -- crash-consistency checkpoints (repro.core.journal) ------------
+    def snapshot_state(self) -> dict:
+        """JSON-able profile-history state (offline unit times are cheap to
+        re-measure, but checkpointing them keeps recovery deterministic even
+        if the binding's block list changed between incarnations)."""
+        return {
+            "unit_times": {
+                name: [float(td), float(tp)]
+                for name, (td, tp) in self._unit_times.items()
+            },
+            "base_counts": {
+                task: dict(counts) for task, counts in self._base_counts.items()
+            },
+            "base_inputs": {
+                task: [float(v) for v in vec]
+                for task, vec in self._base_inputs.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._unit_times = {
+            name: (float(td), float(tp))
+            for name, (td, tp) in state["unit_times"].items()
+        }
+        self._base_counts = {
+            task: {k: float(v) for k, v in counts.items()}
+            for task, counts in state["base_counts"].items()
+        }
+        self._base_inputs = {
+            task: np.asarray(vec, dtype=np.float64)
+            for task, vec in state["base_inputs"].items()
+        }

@@ -357,6 +357,78 @@ class MerchandiserPolicy(PlacementPolicy):
             )
 
     # ------------------------------------------------------------------
+    # crash-consistency hooks (see repro.core.journal)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict | None:
+        """Everything learned online, JSON-able, for journal checkpoints.
+
+        Per-region scratch (quotas, promotion queue, pending base list) is
+        deliberately excluded: epochs align with regions, so a recovered run
+        rebuilds it in ``on_region_start``.  ``plans`` is inspection-only
+        history and also excluded.  Reading the RNG state draws nothing, so
+        attaching a journal leaves the run bit-identical.
+        """
+        return {
+            "estimators": {
+                key: est.snapshot_state() for key, est in self._estimators.items()
+            },
+            "base_pmcs": {
+                key: {k: float(v) for k, v in pmcs.items()}
+                for key, pmcs in self._base_pmcs.items()
+            },
+            "base_inputs": {
+                key: [float(v) for v in vec]
+                for key, vec in self._base_inputs.items()
+            },
+            "last_scan_s": float(self._last_scan),
+            "pages_promoted_by_task": dict(self.pages_promoted_by_task),
+            "planning_overhead_s": float(self.planning_overhead_s),
+            "homogeneous": self.homogeneous.snapshot_state(),
+            "guardrails": (
+                self.guardrails.snapshot_state()
+                if self.guardrails is not None
+                else None
+            ),
+            # one Generator is shared with all profilers (make_rng passes
+            # Generators through), so restoring it resumes every sampling
+            # stream where the crashed incarnation left off
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._estimators = {}
+        for key, est_state in state["estimators"].items():
+            tid = key.split("|")[0]
+            est = AccessEstimator(self.binding.descriptors[tid])
+            est.restore_state(est_state)
+            self._estimators[key] = est
+        self._base_pmcs = {
+            key: dict(pmcs) for key, pmcs in state["base_pmcs"].items()
+        }
+        self._base_inputs = {
+            key: tuple(float(v) for v in vec)
+            for key, vec in state["base_inputs"].items()
+        }
+        self._last_scan = float(state["last_scan_s"])
+        self.pages_promoted_by_task = {
+            k: int(v) for k, v in state["pages_promoted_by_task"].items()
+        }
+        self.planning_overhead_s = float(state["planning_overhead_s"])
+        self.homogeneous.restore_state(state["homogeneous"])
+        if state["guardrails"] is not None and self.guardrails is not None:
+            self.guardrails.restore_state(state["guardrails"])
+        self._rng.bit_generator.state = state["rng"]
+
+    def on_recover(self, ctx: EngineContext) -> None:
+        """Resume after a crash: placement survived, so unlike
+        ``on_workload_start`` residency is NOT reset."""
+        if self.binding.blocks:
+            self.homogeneous.measure_blocks(self.binding.blocks)
+        self._pte.faults = ctx.faults
+        self._pebs.faults = ctx.faults
+        self._base_profiler.faults = ctx.faults
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _instance_sizes(

@@ -1,0 +1,234 @@
+"""Chaos-soak recovery study (our extension; see DESIGN.md Section 6b).
+
+The crash-consistency layer (:mod:`repro.core.journal`) claims the control
+plane can be killed at any tick and recover to a consistent, near-identical
+run.  This experiment soaks that claim:
+
+* **bit-identical check**: with journaling disabled, behaviour is exactly
+  the current pipeline (same total time, migrations and bandwidth traces
+  as a journaled crash-free run);
+* **chaos soak**: N randomized seeded kill schedules (kill-at-tick,
+  kill-mid-migration-batch, torn-tail WAL append; some schedules kill
+  twice), each followed by journal recovery.  Every recovered run must
+  (a) report zero placement-invariant violations and (b) finish within
+  ``TOLERANCE`` of the crash-free run's total time.
+
+A violated invariant or an out-of-tolerance run raises, so the runner
+exits non-zero and records the traceback in ``results/recovery.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import SpGEMMApp
+from repro.core.journal import SimulatedCrash, WriteAheadLog
+from repro.experiments.common import ExperimentContext, format_table
+from repro.sim import Engine, FaultConfig, FaultInjector, MachineModel, optane_hm_config
+
+#: recovered total time must be within this fraction of the crash-free run
+TOLERANCE = 0.05
+
+#: kill-point mix: mostly plain tick kills, with mid-batch and WAL-append
+#: (half of the latter tearing the record being written)
+POINTS = ("tick", "mid_batch", "wal_append")
+POINT_WEIGHTS = (0.6, 0.2, 0.2)
+
+#: every K-th schedule kills the recovered incarnation a second time
+DOUBLE_KILL_EVERY = 5
+
+
+def _engine(faults: FaultInjector | None, journal: WriteAheadLog | None) -> Engine:
+    return Engine(MachineModel(), optane_hm_config(), faults=faults, journal=journal)
+
+
+def _draw_schedule(rng: np.random.Generator, n_ticks: int, n_batches: int):
+    """One (point, crash_at, torn) kill drawn from the schedule RNG."""
+    point = str(rng.choice(POINTS, p=POINT_WEIGHTS))
+    if point == "tick":
+        crash_at = int(rng.integers(1, max(2, n_ticks)))
+    else:
+        crash_at = int(rng.integers(1, max(2, n_batches)))
+    torn = bool(point == "wal_append" and rng.random() < 0.5)
+    return point, crash_at, torn
+
+
+def run(ctx: ExperimentContext) -> dict[str, object]:
+    # the soak runs dozens of full engine executions, so it always uses the
+    # small SpGEMM instance; --full raises the schedule count instead
+    n_schedules = 50 if ctx.fast else 200
+    app = SpGEMMApp.small(seed=ctx.seed)
+    wl = app.build_workload(seed=ctx.seed)
+    system = ctx.system
+    engine_seed = ctx.seed + 1
+
+    def policy():
+        return system.policy(app.binding(wl), seed=ctx.seed + 5)
+
+    # ------------------------------------------------------------------
+    # crash-free baseline (journal on) + journaling-off bit-identity
+    # ------------------------------------------------------------------
+    base_journal = WriteAheadLog()
+    baseline = _engine(None, base_journal).run(wl, policy(), seed=engine_seed)
+    plain = _engine(None, None).run(wl, policy(), seed=engine_seed)
+    bit_identical = (
+        plain.total_time_s == baseline.total_time_s
+        and plain.pages_migrated == baseline.pages_migrated
+        and np.array_equal(plain.trace_time, baseline.trace_time)
+        and np.array_equal(plain.trace_dram_bw, baseline.trace_dram_bw)
+        and np.array_equal(plain.trace_pm_bw, baseline.trace_pm_bw)
+        and np.array_equal(plain.trace_migration_bw, baseline.trace_migration_bw)
+    )
+    print(
+        f"crash-free baseline: {baseline.total_time_s:.3f}s, "
+        f"{baseline.pages_migrated} pages migrated, "
+        f"journal of {len(base_journal)} records"
+    )
+    print(f"journaling off is bit-identical: {bit_identical}")
+    if not bit_identical:
+        raise RuntimeError("journaling changed the crash-free pipeline")
+
+    n_ticks = len(baseline.trace_time)
+    n_batches = sum(
+        1
+        for r in base_journal.records()
+        if r.kind == "move" and r.payload.get("cause") == "policy"
+    )
+
+    # ------------------------------------------------------------------
+    # the soak: seeded kill schedules -> crash -> recover -> verify
+    # ------------------------------------------------------------------
+    schedules: list[dict[str, object]] = []
+    total_violations = 0
+    total_crashes = 0
+    warm_recoveries = 0
+    worst = (0.0, -1)  # (|ratio-1|, schedule index)
+    for i in range(n_schedules):
+        rng = np.random.default_rng([ctx.seed, 1000 + i])
+        kills_wanted = 2 if (i + 1) % DOUBLE_KILL_EVERY == 0 else 1
+        point, crash_at, torn = _draw_schedule(rng, n_ticks, n_batches)
+        journal = WriteAheadLog()
+        faults = FaultInjector(
+            FaultConfig(crash_at=crash_at, crash_point=point, crash_torn_tail=torn),
+            seed=int(rng.integers(0, 2**31)),
+        )
+        points_fired: list[str] = []
+        rolled_back = 0
+        crashes = 0
+        result = None
+        image = None
+        while True:
+            eng = _engine(faults, journal if image is None else image.journal)
+            try:
+                if image is None:
+                    result = eng.run(wl, policy(), seed=engine_seed)
+                else:
+                    result, outcome = eng.recover(
+                        wl, policy(), image, seed=engine_seed
+                    )
+                    rolled_back += outcome.rolled_back_pages
+                    if outcome.checkpoint_state is not None:
+                        warm_recoveries += 1
+                break
+            except SimulatedCrash as exc:
+                crashes += 1
+                points_fired.append(point)
+                image = exc.image
+                if crashes < kills_wanted:
+                    point, crash_at, torn = _draw_schedule(rng, n_ticks, n_batches)
+                    faults = FaultInjector(
+                        FaultConfig(
+                            crash_at=crash_at,
+                            crash_point=point,
+                            crash_torn_tail=torn,
+                        ),
+                        seed=int(rng.integers(0, 2**31)),
+                    )
+                else:
+                    faults = None
+
+        assert result is not None
+        violations = result.robustness.count("journal.invariant_violation")
+        total_violations += violations
+        total_crashes += crashes
+        ratio = result.total_time_s / baseline.total_time_s
+        if abs(ratio - 1.0) > worst[0]:
+            worst = (abs(ratio - 1.0), i)
+        schedules.append(
+            {
+                "schedule": i,
+                "points": points_fired,
+                "crashes": crashes,
+                "rolled_back_pages": rolled_back,
+                "total_time_s": result.total_time_s,
+                "time_ratio": ratio,
+                "invariant_violations": violations,
+                "recovered_events": result.robustness.count("journal.recovered"),
+                "torn_tail_events": result.robustness.count("journal.torn_tail"),
+            }
+        )
+
+    crashed_schedules = sum(1 for s in schedules if s["crashes"] > 0)
+    by_point: dict[str, int] = {}
+    for s in schedules:
+        for p in s["points"]:
+            by_point[p] = by_point.get(p, 0) + 1
+
+    print(
+        f"\nsoak: {n_schedules} schedules, {total_crashes} kills fired "
+        f"({crashed_schedules} schedules crashed; "
+        f"{', '.join(f'{k}={v}' for k, v in sorted(by_point.items()))})"
+    )
+    print(
+        f"  warm recoveries (checkpoint restored): "
+        f"{warm_recoveries}/{total_crashes}"
+    )
+    print(f"  invariant violations: {total_violations} (want 0)")
+    print(
+        f"  worst total-time deviation: {worst[0] * 100:.3f}% "
+        f"(schedule {worst[1]}, tolerance {TOLERANCE * 100:.0f}%)"
+    )
+    sample = schedules[:: max(1, n_schedules // 10)]
+    rows = [
+        [
+            s["schedule"],
+            "+".join(s["points"]) or "-",
+            s["crashes"],
+            s["rolled_back_pages"],
+            float(s["time_ratio"]),
+            s["invariant_violations"],
+        ]
+        for s in sample
+    ]
+    print(
+        format_table(
+            ["schedule", "kill points", "kills", "rolled back", "time ratio", "violations"],
+            rows,
+        )
+    )
+
+    if total_violations:
+        raise RuntimeError(
+            f"{total_violations} placement-invariant violations across the soak"
+        )
+    out_of_tolerance = [
+        s["schedule"] for s in schedules if abs(s["time_ratio"] - 1.0) > TOLERANCE
+    ]
+    if out_of_tolerance:
+        raise RuntimeError(
+            f"recovered runs out of tolerance ({TOLERANCE:.0%}): {out_of_tolerance}"
+        )
+
+    return {
+        "baseline_total_time_s": baseline.total_time_s,
+        "bit_identical_with_journal_off": bit_identical,
+        "n_schedules": n_schedules,
+        "crashed_schedules": crashed_schedules,
+        "total_kills": total_crashes,
+        "kills_by_point": by_point,
+        "warm_recoveries": warm_recoveries,
+        "total_invariant_violations": total_violations,
+        "worst_time_deviation": worst[0],
+        "tolerance": TOLERANCE,
+        "schedules": schedules,
+    }

@@ -27,6 +27,7 @@ from repro.experiments import (
     fig6,
     fig7,
     overhead,
+    recovery,
     robustness,
     sensitivity,
     table1,
@@ -51,6 +52,7 @@ EXPERIMENTS = {
     "extensibility": extensibility.run,
     "sensitivity": sensitivity.run,
     "robustness": robustness.run,
+    "recovery": recovery.run,
 }
 
 #: cheap-first ordering so failures surface early
@@ -69,6 +71,7 @@ DEFAULT_ORDER = (
     "extensibility",
     "sensitivity",
     "robustness",
+    "recovery",
 )
 
 
@@ -107,20 +110,27 @@ def main(argv: list[str] | None = None) -> int:
         print("=" * 72)
         start = time.perf_counter()
         # one broken experiment must not take down the rest of the suite:
-        # report the traceback, keep going, and exit non-zero at the end
+        # record the traceback in the result payload (and the JSON, when
+        # requested), keep going, and exit non-zero at the end
         try:
             results[name] = EXPERIMENTS[name](ctx)
-            if args.json:
-                from repro.experiments.export import write_result
-
-                path = write_result(args.json, name, results[name])
-                print(f"[result written to {path}]")
-        except Exception:
+        except Exception as exc:
             traceback.print_exc()
             failed.append(name)
+            results[name] = {
+                "failed": True,
+                "error_type": type(exc).__name__,
+                "error": str(exc),
+                "traceback": traceback.format_exc(),
+            }
             print(f"[{name} FAILED after {time.perf_counter() - start:.1f}s]\n")
-            continue
-        print(f"[{name} done in {time.perf_counter() - start:.1f}s]\n")
+        else:
+            print(f"[{name} done in {time.perf_counter() - start:.1f}s]\n")
+        if args.json:
+            from repro.experiments.export import write_result
+
+            path = write_result(args.json, name, results[name])
+            print(f"[result written to {path}]")
     if failed:
         print(f"FAILED experiments: {', '.join(failed)}")
         return 1

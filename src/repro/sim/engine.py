@@ -22,7 +22,7 @@ randomness comes from the seeded generator in :class:`EngineContext`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -32,6 +32,11 @@ from repro.sim.machine import MachineModel, TimeBreakdown
 from repro.sim.memspec import HMConfig
 from repro.sim.pages import MigrationBatch, PageTable
 from repro.tasks.task import ParallelRegion, TaskInstanceSpec, Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    # imported lazily at runtime: repro.core.journal pulls in the whole
+    # core package, which itself imports this module
+    from repro.core.journal import CrashImage, RecoveryOutcome, WriteAheadLog
 
 __all__ = [
     "EngineConfig",
@@ -56,6 +61,9 @@ class EngineConfig:
     migration_bandwidth_fraction: float = 0.25
     #: Record the per-tick bandwidth trace (Figure 6) when True.
     record_bandwidth: bool = True
+    #: With a journal attached: epochs between planner-state checkpoints
+    #: (1 = checkpoint at every epoch commit).
+    checkpoint_interval: int = 1
 
 
 class EngineContext:
@@ -149,6 +157,22 @@ class PlacementPolicy:
     def on_region_end(self, ctx: EngineContext) -> None:  # pragma: no cover
         """Called after the region's barrier releases."""
 
+    # -- crash consistency hooks (see repro.core.journal) --------------
+    def snapshot_state(self) -> dict | None:  # pragma: no cover
+        """JSON-serialisable planner state for journal checkpoints.
+
+        ``None`` (the default) means the policy has nothing worth
+        checkpointing; recovery then restarts it cold.
+        """
+        return None
+
+    def restore_state(self, state: dict) -> None:  # pragma: no cover
+        """Restore :meth:`snapshot_state` output on a fresh policy."""
+
+    def on_recover(self, ctx: EngineContext) -> None:  # pragma: no cover
+        """Called instead of ``on_workload_start`` when resuming after a
+        crash: page placement survived, so policies must NOT reset it."""
+
 
 @dataclass
 class RegionResult:
@@ -220,6 +244,7 @@ class Engine:
         hm: HMConfig | None = None,
         config: EngineConfig | None = None,
         faults: FaultInjector | None = None,
+        journal: "WriteAheadLog | None" = None,
     ) -> None:
         from repro.sim.memspec import optane_hm_config
 
@@ -229,6 +254,12 @@ class Engine:
         #: optional fault injector; consulted by the tick loop and exposed
         #: to policies/profilers through the engine context
         self.faults = faults
+        #: optional write-ahead log (repro.core.journal).  ``None`` keeps
+        #: the engine bit-identical to the journal-free pipeline; attached,
+        #: every epoch/move/commit is logged ahead of application so a
+        #: crashed run can be recovered via :meth:`recover`.
+        self.journal = journal
+        self._epochs_since_checkpoint = 0
 
     # ------------------------------------------------------------------
     def run(
@@ -238,7 +269,12 @@ class Engine:
         seed=0,
         page_table: PageTable | None = None,
     ) -> RunResult:
-        """Execute ``workload`` under ``policy`` and return the result."""
+        """Execute ``workload`` under ``policy`` and return the result.
+
+        With a journal attached and crash faults armed this may raise
+        :class:`~repro.core.journal.SimulatedCrash`; the exception carries
+        the surviving state, which :meth:`recover` accepts.
+        """
         rng = make_rng(seed)
         if page_table is None:
             page_table = PageTable(
@@ -248,14 +284,115 @@ class Engine:
             workload, page_table, self.machine, self.hm, rng, faults=self.faults
         )
         policy.on_workload_start(ctx)
+        self._epochs_since_checkpoint = 0
+        return self._run_regions(ctx, policy, start_region=0)
 
+    # ------------------------------------------------------------------
+    def recover(
+        self,
+        workload: Workload,
+        policy: PlacementPolicy,
+        image: "CrashImage",
+        seed=0,
+    ) -> "tuple[RunResult, RecoveryOutcome]":
+        """Bring a crashed run back and finish the workload.
+
+        ``image`` is the surviving state off a :class:`SimulatedCrash`
+        (journal + page placement).  The journal is replayed: the
+        uncommitted epoch is rolled back to its pre-epoch placement,
+        placement invariants are verified, planner state is restored from
+        the newest committed checkpoint, and execution resumes at the
+        interrupted region.  ``policy`` must be a *fresh* instance (the
+        crashed one died with the process); it is warmed via
+        ``restore_state`` + ``on_recover``.
+        """
+        from repro.core.journal import recover_journal
+
+        journal = image.journal if image.journal is not None else self.journal
+        if journal is None:
+            raise ValueError("cannot recover a run that was not journaled")
+        self.journal = journal
+        outcome = recover_journal(journal, image.page_table)
+        self._verify_task_conservation(workload, image, outcome)
+        if outcome.checkpoint_state is not None:
+            policy.restore_state(outcome.checkpoint_state)
+        rng = make_rng(seed)
+        ctx = EngineContext(
+            workload, image.page_table, self.machine, self.hm, rng,
+            faults=self.faults,
+        )
+        ctx.time = outcome.resume_time_s
+        policy.on_recover(ctx)
+        journal.append(
+            "recovered",
+            outcome.open_epoch,
+            {
+                "resume_region": outcome.resume_region,
+                "time_s": outcome.resume_time_s,
+                "rolled_back_pages": outcome.rolled_back_pages,
+                "torn_tail": outcome.torn_tail,
+                "warm": outcome.checkpoint_state is not None,
+            },
+        )
+        journal.log.record(
+            "journal.recovered",
+            outcome.resume_time_s,
+            region=outcome.resume_region,
+            warm=outcome.checkpoint_state is not None,
+        )
+        self._epochs_since_checkpoint = 0
+        result = self._run_regions(ctx, policy, start_region=outcome.resume_region)
+        return result, outcome
+
+    def _verify_task_conservation(
+        self, workload: Workload, image: "CrashImage", outcome: "RecoveryOutcome"
+    ) -> None:
+        """Quota conservation per task: after the rollback, each task of the
+        interrupted region holds exactly the DRAM-access share it had when
+        the epoch began."""
+        payload = outcome.open_begin_payload
+        if payload is None or outcome.resume_region >= len(workload.regions):
+            return
+        region = workload.regions[outcome.resume_region]
+        fractions = image.page_table.access_fractions()
+        want = payload.get("task_r_dram", {})
+        for inst in region.instances:
+            expected = want.get(inst.task_id)
+            if expected is None:
+                continue
+            total = inst.footprint.total_accesses
+            actual = (
+                sum(
+                    acc.total * fractions.get(acc.obj, 0.0)
+                    for acc in inst.footprint.accesses
+                )
+                / total
+                if total > 0
+                else 0.0
+            )
+            if abs(actual - float(expected)) > 1e-6:
+                text = (
+                    f"task {inst.task_id!r}: r_dram {actual:.6f} after "
+                    f"rollback, epoch began at {float(expected):.6f}"
+                )
+                outcome.violations.append(text)
+                image.journal.log.record(
+                    "journal.invariant_violation", image.time_s, detail_text=text
+                )
+
+    # ------------------------------------------------------------------
+    def _run_regions(
+        self, ctx: EngineContext, policy: PlacementPolicy, start_region: int
+    ) -> RunResult:
+        workload = ctx.workload
         regions: list[RegionResult] = []
         trace_t: list[float] = []
         trace_d: list[float] = []
         trace_p: list[float] = []
         trace_m: list[float] = []
 
-        for idx, region in enumerate(workload.regions):
+        for idx in range(start_region, len(workload.regions)):
+            region = workload.regions[idx]
             ctx.region = region
             ctx.region_index = idx
             ctx.progress = {inst.task_id: 0.0 for inst in region.instances}
@@ -263,12 +400,21 @@ class Engine:
             policy.on_region_start(ctx)
             self._refresh_times(ctx)
 
-            result = self._run_region(ctx, policy, trace_t, trace_d, trace_p, trace_m)
+            epoch: int | None = None
+            begin_payload: dict | None = None
+            if self.journal is not None:
+                epoch, begin_payload = self._journal_epoch_begin(ctx, policy)
+            result = self._run_region(
+                ctx, policy, epoch, trace_t, trace_d, trace_p, trace_m
+            )
             regions.append(result)
             policy.on_region_end(ctx)
+            if self.journal is not None:
+                self._journal_epoch_commit(ctx, epoch, begin_payload, policy)
 
         fault_log = self.faults.log if self.faults is not None else None
         guard_log = getattr(policy, "guardrail_log", None)
+        journal_log = self.journal.log if self.journal is not None else None
         return RunResult(
             policy=policy.name,
             workload=workload.name,
@@ -279,7 +425,125 @@ class Engine:
             trace_dram_bw=np.asarray(trace_d),
             trace_pm_bw=np.asarray(trace_p),
             trace_migration_bw=np.asarray(trace_m),
-            robustness=RobustnessReport.merged(fault_log, guard_log),
+            robustness=RobustnessReport.merged(fault_log, guard_log, journal_log),
+        )
+
+    # ------------------------------------------------------------------
+    # journal integration (no-ops when self.journal is None)
+    # ------------------------------------------------------------------
+    def _journal_epoch_begin(
+        self, ctx: EngineContext, policy: PlacementPolicy
+    ) -> tuple[int, dict]:
+        """Open a migration epoch: durably snapshot the pre-epoch placement."""
+        assert ctx.region is not None and self.journal is not None
+        table = ctx.page_table
+        binary = all(
+            bool(np.all(np.abs(o.residency - np.round(o.residency)) <= 1e-9))
+            for o in table
+        )
+        payload = {
+            "region": ctx.region_index,
+            "name": ctx.region.name,
+            "time_s": ctx.time,
+            "binary": binary,
+            "dram_capacity_bytes": int(table.dram_capacity_bytes),
+            "dram_pages": {o.name: float(o.residency.sum()) for o in table},
+            "task_r_dram": self._task_r_dram_map(ctx),
+            "quota_targets": {
+                str(k): float(v)
+                for k, v in (getattr(policy, "_quota_targets", None) or {}).items()
+            },
+        }
+        return self.journal.begin_epoch(payload), payload
+
+    def _task_r_dram_map(self, ctx: EngineContext) -> dict[str, float]:
+        assert ctx.region is not None
+        fractions = ctx.page_table.access_fractions()
+        out: dict[str, float] = {}
+        for inst in ctx.region.instances:
+            total = inst.footprint.total_accesses
+            if total <= 0:
+                out[inst.task_id] = 0.0
+                continue
+            out[inst.task_id] = (
+                sum(
+                    acc.total * fractions.get(acc.obj, 0.0)
+                    for acc in inst.footprint.accesses
+                )
+                / total
+            )
+        return out
+
+    def _journal_epoch_commit(
+        self,
+        ctx: EngineContext,
+        epoch: int | None,
+        begin_payload: dict | None,
+        policy: PlacementPolicy,
+    ) -> None:
+        from repro.core.journal import verify_placement
+
+        assert self.journal is not None and epoch is not None
+        self.journal.commit_epoch(
+            epoch,
+            {
+                "region": ctx.region_index,
+                "time_s": ctx.time,
+                "pages_migrated": ctx.pages_migrated,
+            },
+        )
+        binary = begin_payload.get("binary", True) if begin_payload else True
+        for text in verify_placement(ctx.page_table, {"binary": binary}):
+            self.journal.log.record(
+                "journal.invariant_violation", ctx.time, detail_text=text
+            )
+        self._epochs_since_checkpoint += 1
+        if self._epochs_since_checkpoint >= max(1, self.config.checkpoint_interval):
+            state = policy.snapshot_state()
+            if state is not None:
+                self.journal.checkpoint(epoch, state)
+                self._epochs_since_checkpoint = 0
+
+    def _journal_batch(
+        self, ctx: EngineContext, epoch: int | None, batch: MigrationBatch, cause: str
+    ) -> None:
+        """Write-ahead: log a batch's moves with per-page before-images
+        BEFORE any residency mutation.  A kill configured for the
+        "wal_append" crash point dies here -- with ``crash_torn_tail`` the
+        record's bytes are cut short, and either way the mutation never
+        happens."""
+        if self.journal is None or epoch is None:
+            return
+        table = ctx.page_table
+        moves = [
+            {
+                "obj": name,
+                "pages": np.asarray(idx, dtype=np.intp),
+                "before": table.object(name).residency[idx].copy(),
+                "promote": bool(promote),
+            }
+            for name, idx, promote in batch.moves
+            if len(idx)
+        ]
+        if not moves:
+            return
+        if self.faults is not None and self.faults.crash_due("wal_append", ctx.time):
+            if self.faults.config.crash_torn_tail:
+                self.journal.append_torn(
+                    "move", epoch, {"cause": cause, "moves": moves}
+                )
+            else:
+                self.journal.log_moves(epoch, moves, cause)
+            raise self._crash(ctx)
+        self.journal.log_moves(epoch, moves, cause)
+
+    def _crash(self, ctx: EngineContext) -> Exception:
+        from repro.core.journal import CrashImage, SimulatedCrash
+
+        return SimulatedCrash(
+            CrashImage(
+                journal=self.journal, page_table=ctx.page_table, time_s=ctx.time
+            )
         )
 
     # ------------------------------------------------------------------
@@ -296,6 +560,7 @@ class Engine:
         self,
         ctx: EngineContext,
         policy: PlacementPolicy,
+        epoch: int | None,
         trace_t: list[float],
         trace_d: list[float],
         trace_p: list[float],
@@ -324,6 +589,8 @@ class Engine:
                 raise RuntimeError(
                     f"region {region.name!r} exceeded {cfg.max_ticks_per_region} ticks"
                 )
+            if self.faults is not None and self.faults.crash_due("tick", ctx.time):
+                raise self._crash(ctx)
             fractions = ctx.dram_fractions()
             active = ctx.active_instances()
 
@@ -390,11 +657,19 @@ class Engine:
                 else 0
             )
             if pressure > 0:
-                evicted = _evict_for_pressure(ctx.page_table, pressure)
-                if evicted:
-                    ctx.pages_migrated += evicted
-                    tick_pm_bytes += evicted * PAGE_SIZE
-                    tick_dram_bytes += evicted * PAGE_SIZE
+                plan = _plan_pressure_evictions(ctx.page_table, pressure)
+                if plan:
+                    evict_batch = MigrationBatch(
+                        moves=tuple((name, idx, False) for name, idx in plan)
+                    )
+                    # kernel-driven demotions mutate placement too, so they
+                    # are journaled like policy moves
+                    self._journal_batch(ctx, epoch, evict_batch, "pressure")
+                    evicted = ctx.page_table.apply_batch(evict_batch)
+                    if evicted:
+                        ctx.pages_migrated += evicted
+                        tick_pm_bytes += evicted * PAGE_SIZE
+                        tick_dram_bytes += evicted * PAGE_SIZE
 
             # phase 3: policy-driven migration, throttled by bandwidth.
             # Injected faults may reject the batch or fail part of it
@@ -410,13 +685,27 @@ class Engine:
                     if failed is not None:
                         ctx.failed_migrations.append(failed)
                 if batch is not None and batch.n_pages > 0:
+                    # intent is durable before any page moves; a crash past
+                    # this point leaves a half-applied batch the journal can
+                    # roll back exactly
+                    self._journal_batch(ctx, epoch, batch, "policy")
+                    crash_mid = self.faults is not None and self.faults.crash_due(
+                        "mid_batch", ctx.time
+                    )
+                    to_apply = batch
+                    if crash_mid:
+                        # the kill lands mid-copy: only the first half of the
+                        # batch reaches the page table
+                        to_apply = _clamp_batch(batch, max(1, batch.n_pages // 2))
                     table = ctx.page_table
                     base_capacity = table.dram_capacity_bytes
                     table.dram_capacity_bytes = max(0, base_capacity - pressure)
                     try:
-                        moved = table.apply_batch(batch)
+                        moved = table.apply_batch(to_apply)
                     finally:
                         table.dram_capacity_bytes = base_capacity
+                    if crash_mid:
+                        raise self._crash(ctx)
                     ctx.pages_migrated += moved
                     mig_bytes = moved * PAGE_SIZE
                     ctx.migration_overhead_s += (
@@ -445,27 +734,57 @@ class Engine:
         )
 
 
-def _evict_for_pressure(table: PageTable, pressure_bytes: int) -> int:
-    """Demote the coldest DRAM pages until the table fits the capacity left
-    over by an external pressure spike.  Returns pages evicted."""
+def _plan_pressure_evictions(
+    table: PageTable, pressure_bytes: int
+) -> list[tuple[str, np.ndarray]]:
+    """Pick the coldest DRAM pages to demote so the table fits the capacity
+    left over by an external pressure spike.  Pure planning (no mutation) so
+    the choice can be journaled before it is applied.
+
+    Victim order is a deterministic function of the placement: objects by
+    ``(dram_access_fraction, name)`` -- the name tie-break pins the order
+    when fractions tie, independent of dict insertion order -- and pages
+    within an object coldest-first with id tie-breaks
+    (:meth:`PagedObject.coldest_dram_pages` uses a stable sort).
+    """
+    if pressure_bytes <= 0:
+        return []
     capacity_pages = max(0, (table.dram_capacity_bytes - pressure_bytes) // PAGE_SIZE)
     used = int(sum(obj.dram_pages() for obj in table))
     need = used - capacity_pages
     if need <= 0:
-        return 0
-    evicted = 0
-    for obj in sorted(table, key=lambda o: o.dram_access_fraction()):
-        if evicted >= need:
+        return []
+    plan: list[tuple[str, np.ndarray]] = []
+    picked = 0
+    for obj in sorted(table, key=lambda o: (o.dram_access_fraction(), o.name)):
+        if picked >= need:
             break
-        cold = obj.coldest_dram_pages(limit=need - evicted)
+        cold = obj.coldest_dram_pages(limit=need - picked)
         if len(cold):
-            obj.residency[cold] = 0.0
-            evicted += len(cold)
-    return evicted
+            plan.append((obj.name, cold))
+            picked += len(cold)
+    return plan
+
+
+def _evict_for_pressure(table: PageTable, pressure_bytes: int) -> int:
+    """Demote the coldest DRAM pages until the table fits the capacity left
+    over by an external pressure spike.  Returns pages evicted."""
+    plan = _plan_pressure_evictions(table, pressure_bytes)
+    if not plan:
+        return 0
+    return table.apply_batch(
+        MigrationBatch(moves=tuple((name, idx, False) for name, idx in plan))
+    )
 
 
 def _clamp_batch(batch: MigrationBatch, max_pages: int) -> MigrationBatch:
-    """Limit a batch to ``max_pages`` promotions+demotions (keep order)."""
+    """Limit a batch to ``max_pages`` promotions+demotions (keep order).
+
+    A non-positive budget yields an empty batch, and moves with no pages are
+    dropped rather than carried along as zero-length entries.
+    """
+    if max_pages <= 0:
+        return MigrationBatch(moves=())
     if batch.n_pages <= max_pages:
         return batch
     moves: list[tuple[str, np.ndarray, bool]] = []
@@ -474,6 +793,8 @@ def _clamp_batch(batch: MigrationBatch, max_pages: int) -> MigrationBatch:
         if left <= 0:
             break
         take = idx[:left]
+        if len(take) == 0:
+            continue
         moves.append((name, take, promote))
         left -= len(take)
     return MigrationBatch(moves=tuple(moves))

@@ -170,6 +170,19 @@ class FaultConfig:
     #: misreport magnitude (reported = true * factor or true / factor)
     object_size_error_factor: float = 8.0
 
+    # -- crash/kill faults ---------------------------------------------
+    #: kill the control plane at the Nth occurrence (1-based) of
+    #: ``crash_point``; ``None`` disables crashing.  Unlike the rate-based
+    #: faults above, a kill fires exactly once per injector.
+    crash_at: int | None = None
+    #: where the kill lands: "tick" (top of an engine tick), "mid_batch"
+    #: (half a migration batch copied, the rest lost) or "wal_append"
+    #: (mid-write of a journal record)
+    crash_point: str = "tick"
+    #: with ``crash_point="wal_append"``: tear the record being written
+    #: (partial bytes on disk) instead of dying just after the write
+    crash_torn_tail: bool = False
+
     # -- activity window -----------------------------------------------
     start_s: float = 0.0
     end_s: float = math.inf
@@ -231,6 +244,8 @@ class FaultInjector:
         self._pm_bw_until_s = -math.inf
         self._dram_pressure_until_s = -math.inf
         self._dram_pressure_bytes = 0
+        self._crash_count = 0
+        self._crash_fired = False
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -239,6 +254,8 @@ class FaultInjector:
         self._pm_bw_until_s = -math.inf
         self._dram_pressure_until_s = -math.inf
         self._dram_pressure_bytes = 0
+        self._crash_count = 0
+        self._crash_fired = False
 
     def _active(self, now: float) -> bool:
         return self.config.start_s <= now <= self.config.end_s
@@ -365,6 +382,36 @@ class FaultInjector:
             pages_applied=applied.n_pages if applied else 0,
         )
         return applied, failed
+
+    # ------------------------------------------------------------------
+    # crash/kill faults
+    # ------------------------------------------------------------------
+    def crash_due(self, point: str, now: float) -> bool:
+        """Whether the control plane dies at this ``point`` occurrence.
+
+        The engine consults this at its crash points ("tick", "mid_batch",
+        "wal_append"); occurrences of the configured point are counted and
+        the kill fires once, at the ``crash_at``-th one.
+        """
+        cfg = self.config
+        if cfg.crash_at is None or self._crash_fired or cfg.crash_point != point:
+            return False
+        self._crash_count += 1
+        if self._crash_count < cfg.crash_at:
+            return False
+        self._crash_fired = True
+        self.log.record(
+            "fault.crash_kill",
+            now,
+            point=point,
+            occurrence=self._crash_count,
+            torn_tail=cfg.crash_torn_tail,
+        )
+        return True
+
+    @property
+    def crash_fired(self) -> bool:
+        return self._crash_fired
 
     # ------------------------------------------------------------------
     # environment faults

@@ -93,16 +93,22 @@ class PagedObject:
         np.clip(self.residency, 0.0, 1.0, out=self.residency)
 
     def hottest_pm_pages(self, limit: int | None = None) -> np.ndarray:
-        """Indices of pages not yet (fully) in DRAM, hottest first."""
+        """Indices of pages not yet (fully) in DRAM, hottest first.
+
+        Ties are broken by page id (stable sort), so the ordering is a
+        deterministic function of (rate, id) regardless of how candidates
+        happen to be laid out.
+        """
         candidates = np.flatnonzero(self.residency < 1.0 - 1e-12)
-        order = np.argsort(self.weight[candidates])[::-1]
+        order = np.argsort(-self.weight[candidates], kind="stable")
         idx = candidates[order]
         return idx if limit is None else idx[:limit]
 
     def coldest_dram_pages(self, limit: int | None = None) -> np.ndarray:
-        """Indices of pages (partially) in DRAM, coldest first."""
+        """Indices of pages (partially) in DRAM, coldest first; ties broken
+        by page id (stable sort)."""
         candidates = np.flatnonzero(self.residency > 1e-12)
-        order = np.argsort(self.weight[candidates])
+        order = np.argsort(self.weight[candidates], kind="stable")
         idx = candidates[order]
         return idx if limit is None else idx[:limit]
 

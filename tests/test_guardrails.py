@@ -4,9 +4,12 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.apps import SpGEMMApp
 from repro.baselines import MemoryModePolicy
+from repro.common import PAGE_SIZE
 from repro.core import default_system
 from repro.core.guardrails import (
     GuardrailConfig,
@@ -15,6 +18,9 @@ from repro.core.guardrails import (
     MispredictionWatchdog,
     QuotaValidator,
 )
+from repro.core.journal import WriteAheadLog, recover_journal
+from repro.sim.pages import PageTable
+from repro.tasks import DataObject
 from repro.sim import (
     Engine,
     FaultConfig,
@@ -36,6 +42,32 @@ def log():
 
 
 class TestMigrationRetrier:
+    def test_pop_due_returns_only_due_entries_in_fifo_order(self, log):
+        r = MigrationRetrier(GuardrailConfig(retry_backoff_s=0.0), log)
+        a = MigrationBatch(moves=(("a", np.arange(2), True),))
+        b = MigrationBatch(moves=(("b", np.arange(3), True),))
+        c = MigrationBatch(moves=(("c", np.arange(4), True),))
+        r.on_failure(a, now=0.0)
+        r.on_failure(b, now=1.0)
+        r.on_failure(c, now=5.0)
+        moves, attempts = r.pop_due(1.0)
+        assert [m[0] for m in moves] == ["a", "b"]  # queue order preserved
+        assert attempts == 1
+        assert r.pending == 4  # c is not due yet and stays queued
+        moves, _ = r.pop_due(5.0)
+        assert [m[0] for m in moves] == ["c"]
+        assert r.pending == 0
+
+    def test_pop_due_reports_max_attempt_of_drained_entries(self, log):
+        r = MigrationRetrier(GuardrailConfig(retry_backoff_s=0.0), log)
+        r.note_emitted(0)
+        r.on_failure(batch(), now=0.0)  # attempt 1
+        r.note_emitted(2)
+        r.on_failure(batch(), now=0.0)  # attempt 3
+        moves, attempts = r.pop_due(0.0)
+        assert len(moves) == 2
+        assert attempts == 3  # the max, so re-failure accounting is safe
+
     def test_failure_schedules_retry_with_backoff(self, log):
         r = MigrationRetrier(GuardrailConfig(retry_backoff_s=0.1), log)
         r.on_failure(batch(), now=1.0)
@@ -75,6 +107,142 @@ class TestMigrationRetrier:
         r.on_failure(batch(), now)  # third failure -> give up
         assert log.count("guardrail.retry_scheduled") == 2
         assert log.count("guardrail.retry_dropped") == 1
+
+    def test_backoff_saturates_at_the_attempt_cap(self, log):
+        cfg = GuardrailConfig(max_retry_attempts=4, retry_backoff_s=0.1)
+        r = MigrationRetrier(cfg, log)
+        delays = []
+        for attempt in range(1, 5):
+            r.note_emitted(attempt - 1)
+            r.on_failure(batch(), now=10.0)
+            delays.append(log.events[-1].detail["at_s"] - 10.0)
+        # exponential doubling right up to the cap...
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.8])
+        # ...then the next failure is dropped, not backed off further
+        r.note_emitted(4)
+        r.on_failure(batch(), now=10.0)
+        assert log.count("guardrail.retry_dropped") == 1
+        assert log.count("guardrail.retry_scheduled") == 4
+        assert r.pending == 4 * 16  # the dropped batch never enqueued
+
+    def test_snapshot_restore_roundtrip(self, log):
+        import json
+
+        r = MigrationRetrier(GuardrailConfig(retry_backoff_s=0.1), log)
+        r.note_emitted(1)
+        r.on_failure(batch(4), now=2.0)
+        state = r.snapshot_state()
+        json.dumps(state)  # must be JSON-able: it rides in WAL checkpoints
+        fresh = MigrationRetrier(GuardrailConfig(retry_backoff_s=0.1), RobustnessLog())
+        fresh.restore_state(state)
+        assert fresh.pending == r.pending == 4
+        moves, attempts = fresh.pop_due(5.0)
+        assert attempts == 2
+        assert [m[0] for m in moves] == ["obj"]
+        np.testing.assert_array_equal(moves[0][1], np.arange(4))
+        assert moves[0][2] is True
+
+
+class TestRetryRollbackProperty:
+    """Property-style check that retry + journal rollback compose safely.
+
+    Random interleavings of journaled migration batches, syscall failures
+    (queued for retry), drained retries and crashes (epoch rollback) must
+    never double-apply a move: residency stays binary, DRAM capacity is
+    respected, and a rollback restores the epoch-begin placement exactly.
+    """
+
+    N_OBJECTS = 3
+    PAGES_EACH = 8
+    CAPACITY_PAGES = 16  # smaller than the 24-page footprint: clamps happen
+
+    def _table(self) -> PageTable:
+        objects = [
+            DataObject(f"o{i}", self.PAGES_EACH * PAGE_SIZE)
+            for i in range(self.N_OBJECTS)
+        ]
+        return PageTable(objects, self.CAPACITY_PAGES * PAGE_SIZE, rng=0)
+
+    def _begin(self, wal: WriteAheadLog, table: PageTable) -> int:
+        return wal.begin_epoch(
+            {
+                "region": 0,
+                "time_s": 0.0,
+                "binary": True,
+                "dram_capacity_bytes": int(table.dram_capacity_bytes),
+                "dram_pages": {o.name: float(o.residency.sum()) for o in table},
+                "task_r_dram": {},
+            }
+        )
+
+    def _journal_and_apply(self, wal, epoch, table, batch, cause="policy"):
+        # mirror the engine: intent (with before-images) hits the log
+        # BEFORE the page table mutates
+        moves = [
+            {
+                "obj": name,
+                "pages": [int(p) for p in idx],
+                "before": [float(x) for x in table.object(name).residency[idx]],
+                "promote": bool(promote),
+            }
+            for name, idx, promote in batch.moves
+        ]
+        wal.log_moves(epoch, moves, cause)
+        return table.apply_batch(batch)
+
+    def _check_invariants(self, table: PageTable) -> None:
+        for obj in table:
+            assert np.all((obj.residency == 0.0) | (obj.residency == 1.0))
+        assert table.dram_used_bytes() <= table.dram_capacity_bytes + 1e-9
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_retry_plus_rollback_never_double_applies(self, seed):
+        rng = np.random.default_rng(seed)
+        table = self._table()
+        wal = WriteAheadLog()
+        retrier = MigrationRetrier(
+            GuardrailConfig(retry_backoff_s=0.0, max_retry_attempts=3),
+            RobustnessLog(),
+        )
+        epoch = self._begin(wal, table)
+        snapshot = {o.name: o.residency.copy() for o in table}
+        now = 0.0
+        for _ in range(24):
+            now += 1.0
+            op = rng.random()
+            if op < 0.5:
+                name = f"o{int(rng.integers(self.N_OBJECTS))}"
+                obj = table.object(name)
+                k = int(rng.integers(1, 5))
+                pages = np.sort(
+                    rng.choice(obj.n_pages, size=k, replace=False)
+                ).astype(np.intp)
+                promote = bool(rng.random() < 0.7)
+                b = MigrationBatch(moves=((name, pages, promote),))
+                self._journal_and_apply(wal, epoch, table, b)
+                if rng.random() < 0.5:
+                    # the "syscall" failed: the same moves go on the retry
+                    # queue even though (some) pages already landed
+                    retrier.note_emitted(0)
+                    retrier.on_failure(b, now)
+            elif op < 0.8:
+                moves, attempts = retrier.pop_due(now)
+                if moves:
+                    b = MigrationBatch(moves=tuple(moves))
+                    self._journal_and_apply(wal, epoch, table, b, cause="retry")
+                    retrier.note_emitted(attempts)
+            else:
+                # crash: the open epoch rolls back to its begin snapshot
+                outcome = recover_journal(wal, table)
+                assert outcome.violations == []
+                for obj in table:
+                    np.testing.assert_array_equal(
+                        obj.residency, snapshot[obj.name]
+                    )
+                epoch = self._begin(wal, table)
+                snapshot = {o.name: o.residency.copy() for o in table}
+            self._check_invariants(table)
 
 
 class TestQuotaValidator:

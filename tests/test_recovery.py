@@ -1,0 +1,240 @@
+"""Engine-level crash + recovery tests for the journaled control plane."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import SpGEMMApp
+from repro.core import default_system
+from repro.core.journal import SimulatedCrash, WriteAheadLog
+from repro.sim import (
+    Engine,
+    EngineConfig,
+    FaultConfig,
+    FaultInjector,
+    MachineModel,
+    optane_hm_config,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return default_system(seed=0, fast=True)
+
+
+@pytest.fixture(scope="module")
+def app():
+    return SpGEMMApp.small(seed=0)
+
+
+@pytest.fixture(scope="module")
+def workload(app):
+    return app.build_workload(seed=0)
+
+
+@pytest.fixture(scope="module")
+def baseline(system, app, workload):
+    """Crash-free journaled run everything else is compared against."""
+    journal = WriteAheadLog()
+    policy = system.policy(app.binding(workload), seed=5)
+    result = _engine(journal=journal).run(workload, policy, seed=1)
+    return result, journal
+
+
+def _engine(faults=None, journal=None, config=None):
+    return Engine(
+        MachineModel(), optane_hm_config(), config=config,
+        faults=faults, journal=journal,
+    )
+
+
+def _policy(system, app, workload):
+    return system.policy(app.binding(workload), seed=5)
+
+
+def _crash_faults(point, crash_at=2, torn=False):
+    return FaultInjector(
+        FaultConfig(crash_at=crash_at, crash_point=point, crash_torn_tail=torn),
+        seed=7,
+    )
+
+
+def _crash_and_recover(system, app, workload, point, crash_at=2, torn=False):
+    journal = WriteAheadLog()
+    faults = _crash_faults(point, crash_at, torn)
+    with pytest.raises(SimulatedCrash) as exc_info:
+        _engine(faults=faults, journal=journal).run(
+            workload, _policy(system, app, workload), seed=1
+        )
+    image = exc_info.value.image
+    result, outcome = _engine(journal=image.journal).recover(
+        workload, _policy(system, app, workload), image, seed=1
+    )
+    return result, outcome
+
+
+class TestBitIdentity:
+    def test_journal_off_matches_journal_on(self, system, app, workload, baseline):
+        journaled, _ = baseline
+        plain = _engine().run(workload, _policy(system, app, workload), seed=1)
+        assert plain.total_time_s == journaled.total_time_s
+        assert plain.pages_migrated == journaled.pages_migrated
+        np.testing.assert_array_equal(plain.trace_time, journaled.trace_time)
+        np.testing.assert_array_equal(plain.trace_dram_bw, journaled.trace_dram_bw)
+        np.testing.assert_array_equal(plain.trace_pm_bw, journaled.trace_pm_bw)
+        np.testing.assert_array_equal(
+            plain.trace_migration_bw, journaled.trace_migration_bw
+        )
+
+    def test_journal_records_shape(self, workload, baseline):
+        result, journal = baseline
+        records = journal.records()
+        assert records[0].kind == "epoch_begin"
+        begins = sum(1 for r in records if r.kind == "epoch_begin")
+        commits = sum(1 for r in records if r.kind == "epoch_commit")
+        assert begins == commits == len(result.regions)
+
+
+class TestCrash:
+    def test_crash_raises_with_usable_image(self, system, app, workload):
+        journal = WriteAheadLog()
+        faults = _crash_faults("tick", crash_at=3)
+        with pytest.raises(SimulatedCrash) as exc_info:
+            _engine(faults=faults, journal=journal).run(
+                workload, _policy(system, app, workload), seed=1
+            )
+        image = exc_info.value.image
+        assert image.journal is journal
+        assert image.time_s > 0.0
+        assert len(image.page_table) > 0
+        assert faults.crash_fired
+
+    def test_recover_without_journal_raises(self, system, app, workload):
+        journal = WriteAheadLog()
+        faults = _crash_faults("tick", crash_at=2)
+        with pytest.raises(SimulatedCrash) as exc_info:
+            _engine(faults=faults, journal=journal).run(
+                workload, _policy(system, app, workload), seed=1
+            )
+        image = exc_info.value.image
+        object.__setattr__(image, "journal", None)
+        with pytest.raises(ValueError):
+            _engine().recover(
+                workload, _policy(system, app, workload), image, seed=1
+            )
+
+
+class TestRecovery:
+    @pytest.mark.parametrize(
+        "point,torn",
+        [("tick", False), ("mid_batch", False),
+         ("wal_append", False), ("wal_append", True)],
+    )
+    def test_recovered_run_is_consistent_and_exact(
+        self, system, app, workload, baseline, point, torn
+    ):
+        base_result, _ = baseline
+        result, outcome = _crash_and_recover(
+            system, app, workload, point, crash_at=2, torn=torn
+        )
+        assert outcome.violations == []
+        assert result.robustness.count("journal.invariant_violation") == 0
+        assert result.robustness.count("journal.recovered") == 1
+        # warm replay from the checkpoint is bit-exact
+        assert result.total_time_s == pytest.approx(
+            base_result.total_time_s, rel=1e-6
+        )
+
+    def test_torn_tail_detected_and_truncated(self, system, app, workload):
+        result, outcome = _crash_and_recover(
+            system, app, workload, "wal_append", crash_at=1, torn=True
+        )
+        assert outcome.torn_tail is True
+        assert result.robustness.count("journal.torn_tail") == 1
+        assert outcome.violations == []
+
+    def test_mid_batch_crash_rolls_back_partial_moves(
+        self, system, app, workload, baseline
+    ):
+        base_result, _ = baseline
+        result, outcome = _crash_and_recover(
+            system, app, workload, "mid_batch", crash_at=1
+        )
+        # the half-applied batch was undone page-by-page
+        assert outcome.open_epoch >= 0
+        assert outcome.rolled_back_pages > 0
+        assert outcome.violations == []
+        assert result.total_time_s == pytest.approx(
+            base_result.total_time_s, rel=1e-6
+        )
+
+    def test_cold_recovery_before_first_commit(
+        self, system, app, workload, baseline
+    ):
+        # crash on the very first tick: no commit, no checkpoint -> the
+        # journal only says "epoch 0 open"; recovery restarts region 0 cold
+        base_result, _ = baseline
+        result, outcome = _crash_and_recover(
+            system, app, workload, "tick", crash_at=1
+        )
+        assert outcome.checkpoint_state is None
+        assert outcome.resume_region == 0
+        assert outcome.violations == []
+        # the cold re-run is a deterministic replay, so still exact
+        assert result.total_time_s == pytest.approx(
+            base_result.total_time_s, rel=1e-6
+        )
+
+    def test_double_crash_recovers_twice(
+        self, system, app, workload, baseline
+    ):
+        base_result, _ = baseline
+        journal = WriteAheadLog()
+        faults = _crash_faults("tick", crash_at=2)
+        with pytest.raises(SimulatedCrash) as exc_info:
+            _engine(faults=faults, journal=journal).run(
+                workload, _policy(system, app, workload), seed=1
+            )
+        image = exc_info.value.image
+        # the recovered incarnation is killed again, later on
+        faults2 = _crash_faults("tick", crash_at=4)
+        with pytest.raises(SimulatedCrash) as exc_info2:
+            _engine(faults=faults2, journal=image.journal).recover(
+                workload, _policy(system, app, workload), image, seed=1
+            )
+        image2 = exc_info2.value.image
+        result, outcome = _engine(journal=image2.journal).recover(
+            workload, _policy(system, app, workload), image2, seed=1
+        )
+        assert outcome.violations == []
+        # the shared log saw both recoveries
+        assert result.robustness.count("journal.recovered") == 2
+        assert result.total_time_s == pytest.approx(
+            base_result.total_time_s, rel=1e-6
+        )
+
+
+class TestCheckpoints:
+    def test_checkpoint_interval_thins_checkpoints(self, system, app, workload):
+        journal = WriteAheadLog()
+        config = EngineConfig(checkpoint_interval=2)
+        result = _engine(journal=journal, config=config).run(
+            workload, _policy(system, app, workload), seed=1
+        )
+        checkpoints = sum(1 for r in journal.records() if r.kind == "checkpoint")
+        assert checkpoints == len(result.regions) // 2
+
+    def test_policy_snapshot_is_jsonable_and_roundtrips(
+        self, system, app, workload, baseline
+    ):
+        # run one policy to completion, snapshot it, restore into a fresh
+        # instance: the re-snapshot must be identical (same estimators,
+        # alpha tables, guardrail state and RNG position)
+        policy = _policy(system, app, workload)
+        _engine().run(workload, policy, seed=1)
+        state = policy.snapshot_state()
+        json.dumps(state)  # WAL checkpoints serialize this verbatim
+        fresh = _policy(system, app, workload)
+        fresh.restore_state(state)
+        assert fresh.snapshot_state() == state

@@ -14,7 +14,8 @@ class TestRegistry:
     def test_expected_names(self):
         for name in ("table1", "table2", "fig3", "fig4", "fig5", "fig6",
                      "fig7", "table3", "table4", "overhead", "ablation",
-                     "extensibility", "sensitivity", "robustness"):
+                     "extensibility", "sensitivity", "robustness",
+                     "recovery"):
             assert name in runner.EXPERIMENTS
 
 
@@ -65,10 +66,33 @@ class TestFailureIsolation:
         assert "FAILED experiments: table1" in captured.out
         assert ran == ["ok"]  # the healthy experiment still ran
 
-    def test_failed_experiment_writes_no_json(self, monkeypatch, tmp_path):
+    def test_failed_experiment_writes_failure_payload(self, monkeypatch, tmp_path):
         def boom(ctx):
             raise RuntimeError("nope")
 
         monkeypatch.setitem(runner.EXPERIMENTS, "table1", boom)
         assert runner.main(["table1", "--json", str(tmp_path)]) == 1
-        assert not (tmp_path / "table1.json").exists()
+        data = json.loads((tmp_path / "table1.json").read_text())
+        assert data["failed"] is True
+        assert data["error_type"] == "RuntimeError"
+        assert data["error"] == "nope"
+        # the captured traceback is part of the payload, not just printed
+        assert "RuntimeError: nope" in data["traceback"]
+        assert "boom" in data["traceback"]
+
+    def test_failure_payload_does_not_shadow_healthy_results(
+        self, monkeypatch, tmp_path
+    ):
+        def boom(ctx):
+            raise ValueError("broken")
+
+        def ok(ctx):
+            return {"fine": True}
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "table1", boom)
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig3", ok)
+        assert runner.main(["table1", "fig3", "--json", str(tmp_path)]) == 1
+        broken = json.loads((tmp_path / "table1.json").read_text())
+        healthy = json.loads((tmp_path / "fig3.json").read_text())
+        assert broken["failed"] is True and broken["error_type"] == "ValueError"
+        assert healthy == {"fine": True}

@@ -5,7 +5,8 @@ import pytest
 
 from repro.common import PAGE_SIZE, AccessPattern
 from repro.sim import Engine, EngineConfig, MachineModel, PlacementPolicy, optane_hm_config
-from repro.sim.pages import MigrationBatch
+from repro.sim.engine import _clamp_batch, _evict_for_pressure, _plan_pressure_evictions
+from repro.sim.pages import MigrationBatch, PageTable
 from repro.tasks import DataObject, Footprint, MPIProgram, ObjectAccess
 
 HM = optane_hm_config()
@@ -205,3 +206,99 @@ class TestPolicyHooks:
         cfg = EngineConfig(max_ticks_per_region=3)
         with pytest.raises(RuntimeError):
             Engine(hm=HM, config=cfg).run(toy_workload(), PlacementPolicy(), seed=0)
+
+
+def _uniform_table(n_objects=3, pages_each=8, capacity_pages=64, order=None):
+    """A page table of uniform-hotness objects, optionally built in a
+    shuffled insertion order (to probe dict-order sensitivity)."""
+    names = [f"obj{i}" for i in range(n_objects)]
+    if order is not None:
+        names = [names[i] for i in order]
+    objects = [DataObject(nm, pages_each * PAGE_SIZE) for nm in names]
+    table = PageTable(objects, capacity_pages * PAGE_SIZE, rng=0)
+    for obj in table:
+        obj.set_residency(1.0)
+    return table
+
+
+class TestPressureEviction:
+    def test_zero_and_negative_pressure_are_noops(self):
+        table = _uniform_table()
+        assert _plan_pressure_evictions(table, 0) == []
+        assert _plan_pressure_evictions(table, -PAGE_SIZE) == []
+        assert _evict_for_pressure(table, 0) == 0
+        for obj in table:
+            assert obj.dram_pages() == obj.n_pages
+
+    def test_pressure_within_slack_evicts_nothing(self):
+        # 24 pages used of 64: stealing 24 pages still leaves room
+        table = _uniform_table()
+        assert _plan_pressure_evictions(table, 24 * PAGE_SIZE) == []
+
+    def test_evicts_exactly_the_deficit(self):
+        table = _uniform_table(n_objects=2, pages_each=8, capacity_pages=16)
+        # 16 used, capacity drops to 10 -> 6 pages must go
+        evicted = _evict_for_pressure(table, 6 * PAGE_SIZE)
+        assert evicted == 6
+        used = sum(o.dram_pages() for o in table)
+        assert used == 10
+
+    def test_victim_order_independent_of_insertion_order(self):
+        # all objects tie on dram_access_fraction, so only the (fraction,
+        # name) tie-break pins the victim choice
+        plans = []
+        for order in ([0, 1, 2], [2, 0, 1], [1, 2, 0]):
+            table = _uniform_table(order=order)
+            plan = _plan_pressure_evictions(table, 60 * PAGE_SIZE)
+            plans.append(
+                sorted((name, tuple(int(i) for i in idx)) for name, idx in plan)
+            )
+        assert plans[0] == plans[1] == plans[2]
+
+    def test_page_order_breaks_weight_ties_by_id(self):
+        table = _uniform_table(n_objects=1, pages_each=8, capacity_pages=8)
+        (name, idx), = _plan_pressure_evictions(table, 3 * PAGE_SIZE)
+        # uniform weights: coldest-first degenerates to ascending page id
+        assert list(idx) == [0, 1, 2]
+
+
+class TestClampBatch:
+    def _batch(self):
+        return MigrationBatch(
+            moves=(
+                ("a", np.arange(4), True),
+                ("b", np.arange(3), False),
+            )
+        )
+
+    def test_under_budget_returned_unchanged(self):
+        batch = self._batch()
+        assert _clamp_batch(batch, 10) is batch
+
+    def test_clamps_across_moves_preserving_order(self):
+        clamped = _clamp_batch(self._batch(), 5)
+        assert clamped.n_pages == 5
+        assert [m[0] for m in clamped.moves] == ["a", "b"]
+        assert list(clamped.moves[1][1]) == [0]
+
+    def test_zero_and_negative_budget_yield_empty_batch(self):
+        for budget in (0, -3):
+            clamped = _clamp_batch(self._batch(), budget)
+            assert clamped.n_pages == 0
+            assert clamped.moves == ()
+
+    def test_empty_batch_stays_empty(self):
+        empty = MigrationBatch(moves=())
+        assert _clamp_batch(empty, 7).n_pages == 0
+
+    def test_no_zero_length_moves_in_output(self):
+        batch = MigrationBatch(
+            moves=(
+                ("a", np.arange(2), True),
+                ("b", np.arange(0), True),
+                ("c", np.arange(2), True),
+            )
+        )
+        clamped = _clamp_batch(batch, 3)
+        assert all(len(idx) for _, idx, _ in clamped.moves)
+        assert clamped.n_pages == 3
