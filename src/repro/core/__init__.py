@@ -12,6 +12,8 @@ Modules map one-to-one onto the paper's sections:
 * :mod:`repro.core.runtime`     -- Sections 3/6, the runtime policy;
 * :mod:`repro.core.journal`     -- our extension: crash-consistent control
   plane (WAL-backed transactional migration epochs + recovery replay);
+* :mod:`repro.core.telemetry`   -- our extension: metrics registry + span
+  tracer over the placement pipeline (see OBSERVABILITY.md);
 * :mod:`repro.core.api`         -- the user-facing API and system facade.
 """
 
@@ -39,6 +41,13 @@ from repro.core.model import PerformanceModel, TaskModelInputs
 from repro.core.patterns import Affine, ArrayRef, Indirect, Loop, classify_kernel
 from repro.core.planner import PlanResult, TaskQuota, greedy_plan, optimal_quotas, throughput_plan
 from repro.core.runtime import ApplicationBinding, MerchandiserPolicy
+from repro.core.telemetry import (
+    MetricRegistry,
+    SpanTracer,
+    Telemetry,
+    chrome_trace,
+    render_exposition,
+)
 
 __all__ = [
     "Merchandiser",
@@ -78,4 +87,9 @@ __all__ = [
     "RecoveryOutcome",
     "recover_journal",
     "verify_placement",
+    "Telemetry",
+    "MetricRegistry",
+    "SpanTracer",
+    "render_exposition",
+    "chrome_trace",
 ]

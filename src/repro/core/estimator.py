@@ -145,12 +145,15 @@ class AccessEstimator:
     # ------------------------------------------------------------------
     def refine(
         self, new_sizes: Mapping[str, int], measured: Mapping[str, float]
-    ) -> None:
+    ) -> int:
         """Online alpha refinement after an instance ran (Section 4).
 
         ``measured`` holds PEBS-measured per-object access counts for the
-        instance that just executed with ``new_sizes``.
+        instance that just executed with ``new_sizes``.  Returns the number
+        of objects whose alpha actually absorbed a measurement (telemetry's
+        ``merch_policy_alpha_refinements_total``).
         """
+        refined = 0
         for name, measured_acc in measured.items():
             desc = self.descriptors.get(name)
             if desc is None or not desc.needs_refinement:
@@ -164,3 +167,5 @@ class AccessEstimator:
                 self._base_counts[name],
                 measured_acc,
             )
+            refined += 1
+        return refined

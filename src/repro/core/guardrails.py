@@ -28,11 +28,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.sim.faults import RobustnessLog
 from repro.sim.pages import MigrationBatch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.telemetry import Telemetry
 
 __all__ = [
     "GuardrailConfig",
@@ -79,6 +83,7 @@ class MigrationRetrier:
     def __init__(self, config: GuardrailConfig, log: RobustnessLog) -> None:
         self.config = config
         self.log = log
+        self.telemetry: "Telemetry | None" = None
         #: (moves, attempt number, not-before virtual time)
         self._queue: list[tuple[MigrationBatch, int, float]] = []
         #: attempt count of the most recently emitted tick batch (0 = all
@@ -94,6 +99,10 @@ class MigrationRetrier:
             self.log.record(
                 "guardrail.retry_dropped", now, pages=batch.n_pages, attempts=attempts
             )
+            if self.telemetry is not None:
+                self.telemetry.inc(
+                    "merch_guardrail_retries_total", outcome="dropped"
+                )
             return
         delay = self.config.retry_backoff_s * (2.0 ** (attempts - 1))
         self._queue.append((batch, attempts, now + delay))
@@ -104,6 +113,8 @@ class MigrationRetrier:
             attempt=attempts,
             at_s=now + delay,
         )
+        if self.telemetry is not None:
+            self.telemetry.inc("merch_guardrail_retries_total", outcome="scheduled")
 
     def pop_due(self, now: float) -> tuple[list[tuple[str, np.ndarray, bool]], int]:
         """Moves whose backoff has elapsed, plus their max attempt count."""
@@ -168,6 +179,7 @@ class QuotaValidator:
     def __init__(self, config: GuardrailConfig, log: RobustnessLog) -> None:
         self.config = config
         self.log = log
+        self.telemetry: "Telemetry | None" = None
         #: per profile key: last validated (t_dram, t_pm, total_accesses)
         self._lkg: dict[str, tuple[float, float, float]] = {}
 
@@ -200,6 +212,11 @@ class QuotaValidator:
             total_accesses=float(total_acc),
             recovered=lkg is not None,
         )
+        if self.telemetry is not None:
+            self.telemetry.inc(
+                "merch_guardrail_quota_clamps_total",
+                recovered="yes" if lkg is not None else "no",
+            )
         return lkg
 
     # -- crash-consistency checkpoints ---------------------------------
@@ -229,6 +246,7 @@ class MispredictionWatchdog:
     def __init__(self, config: GuardrailConfig, log: RobustnessLog) -> None:
         self.config = config
         self.log = log
+        self.telemetry: "Telemetry | None" = None
         self.degraded = False
         self._bad_streak = 0
         self._good_streak = 0
@@ -256,6 +274,10 @@ class MispredictionWatchdog:
                 self.log.record(
                     "guardrail.watchdog_degrade", now, error=float(error)
                 )
+                if self.telemetry is not None:
+                    self.telemetry.inc(
+                        "merch_guardrail_watchdog_transitions_total", to="degraded"
+                    )
         else:
             self._good_streak = 0 if bad else self._good_streak + 1
             if self._good_streak >= self.config.watchdog_rearm_after:
@@ -265,6 +287,10 @@ class MispredictionWatchdog:
                 self.log.record(
                     "guardrail.watchdog_rearm", now, error=float(error)
                 )
+                if self.telemetry is not None:
+                    self.telemetry.inc(
+                        "merch_guardrail_watchdog_transitions_total", to="armed"
+                    )
 
     # -- crash-consistency checkpoints ---------------------------------
     def snapshot_state(self) -> dict:
@@ -286,15 +312,25 @@ class Guardrails:
     def __init__(self, config: GuardrailConfig | None = None) -> None:
         self.config = config or GuardrailConfig()
         self.log = RobustnessLog()
+        self.telemetry: "Telemetry | None" = None
         self.retrier = MigrationRetrier(self.config, self.log)
         self.validator = QuotaValidator(self.config, self.log)
         self.watchdog = MispredictionWatchdog(self.config, self.log)
         self._reprofiles: dict[str, int] = {}
 
+    def attach_telemetry(self, telemetry: "Telemetry | None") -> None:
+        """Share one telemetry object with every guardrail component."""
+        self.telemetry = telemetry
+        self.retrier.telemetry = telemetry
+        self.validator.telemetry = telemetry
+        self.watchdog.telemetry = telemetry
+
     # -- alpha quarantine ----------------------------------------------
     def quarantine_alpha(self, key: str, now: float) -> None:
         """Record that a fault-flagged PEBS window was discarded."""
         self.log.record("guardrail.alpha_quarantine", now, key=key)
+        if self.telemetry is not None:
+            self.telemetry.inc("merch_guardrail_alpha_quarantines_total")
 
     # -- base-profile retry bookkeeping --------------------------------
     def may_requeue_base(self, key: str, now: float, reason: str) -> bool:
@@ -306,6 +342,8 @@ class Guardrails:
         self.log.record(
             "guardrail.base_profile_requeued", now, key=key, reason=reason
         )
+        if self.telemetry is not None:
+            self.telemetry.inc("merch_guardrail_base_reprofiles_total")
         return True
 
     # -- crash-consistency checkpoints ---------------------------------

@@ -53,6 +53,7 @@ from repro.common import PAGE_SIZE
 from repro.sim.faults import RobustnessLog
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.telemetry import Telemetry
     from repro.sim.pages import PageTable
 
 __all__ = [
@@ -136,17 +137,31 @@ class WriteAheadLog:
     def __init__(self) -> None:
         self.entries: list[str] = []
         self.log = RobustnessLog()
+        #: optional repro.core.telemetry.Telemetry; the engine attaches its
+        #: own when both are configured.  ``None`` records nothing.
+        self.telemetry: "Telemetry | None" = None
         self._next_lsn = 0
         self._next_epoch = 0
 
     def __len__(self) -> int:
         return len(self.entries)
 
+    def _count_append(self, kind: str, entry: str) -> None:
+        tel = self.telemetry
+        if tel is None:
+            return
+        tel.inc("merch_journal_appends_total", kind=kind)
+        tel.inc("merch_journal_bytes_appended_total", len(entry))
+        if kind == "checkpoint":
+            tel.observe("merch_journal_checkpoint_bytes", len(entry))
+
     # -- append path ---------------------------------------------------
     def append(self, kind: str, epoch: int, payload: dict) -> WalRecord:
         record = WalRecord(self._next_lsn, kind, epoch, _plain(payload))
-        self.entries.append(_encode(record.lsn, kind, epoch, record.payload))
+        entry = _encode(record.lsn, kind, epoch, record.payload)
+        self.entries.append(entry)
         self._next_lsn += 1
+        self._count_append(kind, entry)
         return record
 
     def append_torn(self, kind: str, epoch: int, payload: dict) -> None:
@@ -156,8 +171,10 @@ class WriteAheadLog:
         NOT been applied yet, so replay may simply truncate it.
         """
         entry = _encode(self._next_lsn, kind, epoch, payload)
-        self.entries.append(entry[: max(10, len(entry) // 2)])
+        torn = entry[: max(10, len(entry) // 2)]
+        self.entries.append(torn)
         self._next_lsn += 1
+        self._count_append(kind, torn)
 
     # -- epoch helpers (the engine's transactional API) ----------------
     def begin_epoch(self, payload: dict) -> int:
@@ -318,6 +335,14 @@ def recover_journal(
     and reports where execution resumes.  Every step is logged as a
     ``journal.*`` robustness event on ``journal.log``.
     """
+    tel = journal.telemetry
+    recover_span = (
+        tel.tracer.begin("recover", tel.tracer.wall_now(), track="wall")
+        if tel is not None
+        else None
+    )
+    wall_start = tel.tracer.wall_now() if tel is not None else 0.0
+
     records, torn = journal.reopen()
     if torn:
         journal.log.record("journal.torn_tail", 0.0, entries_kept=len(records))
@@ -380,6 +405,21 @@ def recover_journal(
     else:
         resume_region = 0
         resume_time = 0.0
+
+    if tel is not None:
+        tel.inc("merch_journal_recoveries_total")
+        tel.inc("merch_journal_rollback_pages_total", rolled_back)
+        tel.observe(
+            "merch_journal_recovery_wall_seconds",
+            tel.tracer.wall_now() - wall_start,
+        )
+        recover_span.args.update(
+            resume_region=resume_region,
+            rolled_back_pages=rolled_back,
+            torn_tail=torn,
+            warm=checkpoint_state is not None,
+        )
+        tel.tracer.end(recover_span, tel.tracer.wall_now())
 
     return RecoveryOutcome(
         resume_region=resume_region,

@@ -21,8 +21,10 @@ hooks:
 
 from __future__ import annotations
 
+import math
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -40,6 +42,9 @@ from repro.sim.counters import collect_pmcs
 from repro.sim.engine import EngineContext, PlacementPolicy
 from repro.sim.pages import MigrationBatch
 from repro.tasks.task import TaskInstanceSpec, Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.telemetry import Telemetry
 
 __all__ = ["ApplicationBinding", "MerchandiserPolicy"]
 
@@ -148,11 +153,17 @@ class MerchandiserPolicy(PlacementPolicy):
         self._region_start_s: float = 0.0
         #: watchdog input: predicted region time captured at region start
         self._watch_prediction: float | None = None
+        #: shared telemetry, adopted from the engine context at run start;
+        #: ``None`` keeps the policy bit-identical to the uninstrumented one
+        self._telemetry: "Telemetry | None" = None
 
     # ------------------------------------------------------------------
     # lifecycle hooks
     # ------------------------------------------------------------------
     def on_workload_start(self, ctx: EngineContext) -> None:
+        self._telemetry = ctx.telemetry
+        if self.guardrails is not None:
+            self.guardrails.attach_telemetry(self._telemetry)
         for obj in ctx.page_table:
             obj.set_residency(0.0)
         if self.binding.blocks:
@@ -167,6 +178,13 @@ class MerchandiserPolicy(PlacementPolicy):
     def _profile_key(task_id: str, kind: str) -> str:
         """Profiles are per (task, phase kind) -- Section 2's task identity."""
         return f"{task_id}|{kind}" if kind else task_id
+
+    def _span(self, name: str, **args):
+        """A wall-clock tracer span, or a no-op when telemetry is off."""
+        tel = self._telemetry
+        if tel is None:
+            return nullcontext()
+        return tel.tracer.wall_span(name, **args)
 
     def on_region_start(self, ctx: EngineContext) -> None:
         import time as _time
@@ -195,6 +213,18 @@ class MerchandiserPolicy(PlacementPolicy):
             for acc in inst.footprint.accesses:
                 sharers[acc.obj] = sharers.get(acc.obj, 0) + 1
 
+        tel = self._telemetry
+        prep = (
+            tel.tracer.begin(
+                "region_prepare",
+                tel.tracer.wall_now(),
+                track="wall",
+                region=region.name,
+                tasks=len(region.instances),
+            )
+            if tel is not None
+            else None
+        )
         t0 = _time.perf_counter()
         for inst in region.instances:
             tid = inst.task_id
@@ -204,11 +234,13 @@ class MerchandiserPolicy(PlacementPolicy):
                 self._pending_base.append(inst)
                 continue
             sizes = self._instance_sizes(ctx, inst, region.name)
-            total_acc = est.estimate_total(sizes)
+            with self._span("estimate", task=tid):
+                total_acc = est.estimate_total(sizes)
             if total_acc <= 0:
                 self._pending_base.append(inst)
                 continue
-            t_dram, t_pm = self._predict_endpoints(key, inst)
+            with self._span("predict", task=tid):
+                t_dram, t_pm = self._predict_endpoints(key, inst)
             if self.guardrails is not None:
                 validated = self.guardrails.validator.validate_inputs(
                     key, t_dram, t_pm, total_acc, ctx.time
@@ -242,13 +274,16 @@ class MerchandiserPolicy(PlacementPolicy):
         self._watch_prediction = None
         self._region_start_s = ctx.time
         if self.enable_planning and ready and not self._pending_base:
-            plan = greedy_plan(
-                ready,
-                self.model,
-                ctx.page_table.dram_capacity_bytes,
-                task_bytes,
-            )
-            if self.guardrails is not None:
+            with self._span("plan", tasks=len(ready)):
+                plan = greedy_plan(
+                    ready,
+                    self.model,
+                    ctx.page_table.dram_capacity_bytes,
+                    task_bytes,
+                )
+            if tel is not None:
+                tel.inc("merch_policy_plans_total")
+            if self.guardrails is not None or tel is not None:
                 self._watch_prediction = plan.predicted_makespan_s
             if not degraded:
                 # the watchdog's degraded mode: predictions are computed
@@ -258,7 +293,11 @@ class MerchandiserPolicy(PlacementPolicy):
                 self._quota_targets = plan.r_by_task()
                 self.plans.append(plan)
                 self._build_promotion_queue(ctx, plan)
-        self.planning_overhead_s += _time.perf_counter() - t0
+        dt_wall = _time.perf_counter() - t0
+        self.planning_overhead_s += dt_wall
+        if tel is not None:
+            tel.observe("merch_policy_planning_wall_seconds", dt_wall)
+            tel.tracer.end(prep, tel.tracer.wall_now())
 
     def on_tick(self, ctx: EngineContext, dt: float) -> MigrationBatch | None:
         moves: list[tuple[str, np.ndarray, bool]] = []
@@ -290,6 +329,8 @@ class MerchandiserPolicy(PlacementPolicy):
         # 2. background hot-page daemon, gated by quotas
         elif ctx.time - self._last_scan >= self.interval_s:
             self._last_scan = ctx.time
+            if self._telemetry is not None:
+                self._telemetry.inc("merch_policy_daemon_scans_total")
             daemon = self._gated_daemon_moves(ctx)
             budget = max(1, ctx.migration_budget_pages)
             left = budget
@@ -326,35 +367,68 @@ class MerchandiserPolicy(PlacementPolicy):
                 moves = self._demotions(ctx, deficit) + moves
         if self.guardrails is not None:
             self.guardrails.retrier.note_emitted(retry_attempts)
+        if self._telemetry is not None:
+            promoted = int(sum(len(i) for _, i, p in moves if p))
+            demoted = int(sum(len(i) for _, i, p in moves if not p))
+            if promoted:
+                self._telemetry.inc(
+                    "merch_policy_requested_pages_total",
+                    promoted,
+                    direction="promote",
+                )
+            if demoted:
+                self._telemetry.inc(
+                    "merch_policy_requested_pages_total",
+                    demoted,
+                    direction="demote",
+                )
         return MigrationBatch(moves=tuple(moves))
 
     def on_region_end(self, ctx: EngineContext) -> None:
         assert ctx.region is not None
         # record base profiles for first-time tasks
-        for inst in self._pending_base:
-            self._record_base(ctx, inst)
+        if self._pending_base:
+            with self._span("profile", pending=len(self._pending_base)):
+                for inst in self._pending_base:
+                    self._record_base(ctx, inst)
         self._pending_base = []
         # alpha refinement from this region's PEBS measurements
         if self.enable_refinement:
-            for inst in ctx.region.instances:
-                key = self._profile_key(inst.task_id, ctx.region.kind)
-                est = self._estimators.get(key)
-                if est is None or not est.has_base_profile:
-                    continue
-                sizes = self._instance_sizes(ctx, inst, ctx.region.name)
-                measured = self._pebs.measure(inst.footprint, now=ctx.time)
-                if self._pebs.last_window_flagged and self.guardrails is not None:
-                    # alpha quarantine: never fold a fault-flagged PEBS
-                    # window into the alpha table
-                    self.guardrails.quarantine_alpha(key, ctx.time)
-                    continue
-                est.refine(sizes, measured)
+            with self._span("refine", region=ctx.region.name):
+                for inst in ctx.region.instances:
+                    key = self._profile_key(inst.task_id, ctx.region.kind)
+                    est = self._estimators.get(key)
+                    if est is None or not est.has_base_profile:
+                        continue
+                    sizes = self._instance_sizes(ctx, inst, ctx.region.name)
+                    measured = self._pebs.measure(inst.footprint, now=ctx.time)
+                    if (
+                        self._pebs.last_window_flagged
+                        and self.guardrails is not None
+                    ):
+                        # alpha quarantine: never fold a fault-flagged PEBS
+                        # window into the alpha table
+                        self.guardrails.quarantine_alpha(key, ctx.time)
+                        continue
+                    refined = est.refine(sizes, measured)
+                    if self._telemetry is not None and refined:
+                        self._telemetry.inc(
+                            "merch_policy_alpha_refinements_total", refined
+                        )
         # watchdog: compare the planner's predicted region time against the
         # measured one (re-arms once predictions are usable again)
         if self.guardrails is not None and self._watch_prediction is not None:
             self.guardrails.watchdog.observe(
                 self._watch_prediction, ctx.time - self._region_start_s, ctx.time
             )
+        if self._telemetry is not None and self._watch_prediction is not None:
+            predicted_s = self._watch_prediction
+            if predicted_s > 0 and math.isfinite(predicted_s):
+                measured_s = ctx.time - self._region_start_s
+                self._telemetry.observe(
+                    "merch_policy_prediction_error_ratio",
+                    abs(measured_s - predicted_s) / predicted_s,
+                )
 
     # ------------------------------------------------------------------
     # crash-consistency hooks (see repro.core.journal)
@@ -422,6 +496,9 @@ class MerchandiserPolicy(PlacementPolicy):
     def on_recover(self, ctx: EngineContext) -> None:
         """Resume after a crash: placement survived, so unlike
         ``on_workload_start`` residency is NOT reset."""
+        self._telemetry = ctx.telemetry
+        if self.guardrails is not None:
+            self.guardrails.attach_telemetry(self._telemetry)
         if self.binding.blocks:
             self.homogeneous.measure_blocks(self.binding.blocks)
         self._pte.faults = ctx.faults
@@ -479,6 +556,8 @@ class MerchandiserPolicy(PlacementPolicy):
         managed_counts = {k: v for k, v in counts.items() if k in descriptors}
         est.record_base_profile(sizes, managed_counts)
         self._estimators[key] = est
+        if self._telemetry is not None:
+            self._telemetry.inc("merch_policy_base_profiles_total")
         self._base_pmcs[key] = self._read_pmcs(ctx, inst)
         self._base_inputs[key] = inst.input_vector or (1.0,)
         # auto-derive the task's "program body" basic block when the app
@@ -627,6 +706,10 @@ class MerchandiserPolicy(PlacementPolicy):
                     for tid in tasks
                 )
                 if reached:
+                    if self._telemetry is not None:
+                        self._telemetry.inc(
+                            "merch_policy_gate_skipped_pages_total", len(idx)
+                        )
                     continue
             obj = ctx.page_table.object(name)
             not_resident = idx[obj.residency[idx] < 1.0 - 1e-12]

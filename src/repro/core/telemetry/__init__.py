@@ -1,0 +1,114 @@
+"""Telemetry: metrics + span tracing across the placement pipeline.
+
+The control plane (planner, estimators, guardrails, journal) and the data
+plane (the virtual-time engine) both emit into one :class:`Telemetry`
+object, which owns
+
+* a :class:`~repro.core.telemetry.registry.MetricRegistry` pre-loaded with
+  the full instrument catalogue (:mod:`repro.core.telemetry.instruments`;
+  documented exhaustively in ``OBSERVABILITY.md``), and
+* a :class:`~repro.core.telemetry.spans.SpanTracer` recording nested spans
+  over the profile -> estimate -> predict -> plan -> migrate -> barrier
+  pipeline, on a virtual-time track and a wall-clock track.
+
+Telemetry is strictly opt-in: every instrumented component takes
+``telemetry=None`` and is **bit-identical** to the uninstrumented pipeline
+when it stays ``None`` (the ``observability`` experiment and
+``tests/test_telemetry_integration.py`` enforce this).  With telemetry on,
+simulation results are still unchanged -- recording never touches the
+engine's RNG or state -- only wall-clock cost is added, budgeted at < 5%
+(measured by ``python -m repro.experiments.runner observability``).
+
+Typical use::
+
+    from repro.core.telemetry import Telemetry, render_exposition, write_trace
+
+    tel = Telemetry()
+    engine = Engine(machine, hm, telemetry=tel)
+    engine.run(workload, policy, seed=1)
+    print(render_exposition(tel.registry))       # Prometheus text format
+    write_trace("trace.json", tel.tracer)        # open in Perfetto
+
+or, via the experiment runner::
+
+    python -m repro.experiments.runner fig4 --metrics-out metrics.prom \
+        --trace-out trace.json
+"""
+
+from __future__ import annotations
+
+from repro.core.telemetry.exporters import (
+    chrome_trace,
+    parse_exposition,
+    render_exposition,
+    write_metrics,
+    write_trace,
+)
+from repro.core.telemetry.instruments import METRIC_SPECS, MetricSpec, register_all, spec_names
+from repro.core.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabelCardinalityError,
+    MetricRegistry,
+)
+from repro.core.telemetry.spans import Span, SpanTracer
+
+__all__ = [
+    "Telemetry",
+    "MetricRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelCardinalityError",
+    "Span",
+    "SpanTracer",
+    "MetricSpec",
+    "METRIC_SPECS",
+    "register_all",
+    "spec_names",
+    "render_exposition",
+    "parse_exposition",
+    "chrome_trace",
+    "write_metrics",
+    "write_trace",
+]
+
+
+class Telemetry:
+    """One run's (or one process's) metrics registry + span tracer.
+
+    Thin convenience wrappers (:meth:`inc`, :meth:`set`, :meth:`observe`)
+    keep instrumentation call sites to one line; the full catalogue is
+    pre-registered, so a typo'd metric name raises immediately instead of
+    creating a shadow series.
+    """
+
+    def __init__(self, max_label_sets: int = 64) -> None:
+        self.registry = MetricRegistry(max_label_sets=max_label_sets)
+        register_all(self.registry)
+        self.tracer = SpanTracer()
+        #: number of metric updates recorded, for overhead accounting
+        #: (the ``observability`` experiment multiplies this by a measured
+        #: per-operation cost)
+        self.op_count = 0
+
+    # -- one-line instrumentation helpers -------------------------------
+    def inc(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        self.op_count += 1
+        self.registry.get(name).inc(amount, **labels)
+
+    def set(self, name: str, value: float, **labels: str) -> None:
+        self.op_count += 1
+        self.registry.get(name).set(value, **labels)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        self.op_count += 1
+        self.registry.get(name).observe(value, **labels)
+
+    # -- export ----------------------------------------------------------
+    def exposition(self) -> str:
+        return render_exposition(self.registry)
+
+    def trace(self) -> dict[str, object]:
+        return chrome_trace(self.tracer)

@@ -1,0 +1,231 @@
+"""Telemetry exporters: Prometheus text exposition + Chrome ``trace_event``.
+
+Two output formats, both plain text/JSON so no scrape server or viewer
+dependency is required:
+
+* :func:`render_exposition` serialises a :class:`MetricRegistry` in the
+  Prometheus text exposition format (version 0.0.4): ``# HELP``/``# TYPE``
+  headers, one sample per series, histograms as cumulative ``le`` buckets
+  plus ``_sum``/``_count``.  Output is deterministic (metrics and series
+  in sorted order), so golden tests can diff it byte-for-byte.
+* :func:`chrome_trace` serialises a :class:`SpanTracer` as a Chrome
+  ``trace_event`` JSON object.  Load the file in ``about:tracing`` or
+  https://ui.perfetto.dev -- the virtual-time track and the wall-clock
+  control-plane track appear as two named processes.
+
+:func:`parse_exposition` is the matching reader: CI smoke-parses runner
+output with it, and tests use it to round-trip the format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+from repro.core.telemetry.registry import Counter, Gauge, Histogram, MetricRegistry
+from repro.core.telemetry.spans import TRACKS, SpanTracer
+
+__all__ = [
+    "render_exposition",
+    "parse_exposition",
+    "chrome_trace",
+    "write_metrics",
+    "write_trace",
+]
+
+
+def _fmt(value: float) -> str:
+    """Number formatting: integral values without a trailing ``.0``."""
+    f = float(value)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(names: tuple[str, ...], values: tuple[str, ...], extra: str = "") -> str:
+    parts = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_exposition(registry: MetricRegistry) -> str:
+    """The registry as Prometheus text exposition (deterministic order)."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for key in sorted(metric.series()):
+            series = metric.series()[key]
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for bound, count in zip(metric.buckets, series.bucket_counts):
+                    cumulative += count
+                    labels = _labels_text(
+                        metric.label_names, key, extra=f'le="{_fmt(bound)}"'
+                    )
+                    lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+                cumulative += series.bucket_counts[-1]
+                labels = _labels_text(metric.label_names, key, extra='le="+Inf"')
+                lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+                plain = _labels_text(metric.label_names, key)
+                lines.append(f"{metric.name}_sum{plain} {_fmt(series.sum)}")
+                lines.append(f"{metric.name}_count{plain} {series.count}")
+            else:
+                labels = _labels_text(metric.label_names, key)
+                lines.append(f"{metric.name}{labels} {_fmt(series[0])}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> dict[str, object]:
+    """Parse exposition text back into ``{"types": ..., "samples": ...}``.
+
+    ``types`` maps metric family name -> kind; ``samples`` maps
+    ``(sample_name, ((label, value), ...))`` -> float, with labels sorted.
+    Malformed lines raise ``ValueError`` -- this is the smoke check CI runs
+    against the runner's ``--metrics-out`` output.
+    """
+    types: dict[str, str] = {}
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            try:
+                _, _, name, kind = line.split(" ", 3)
+            except ValueError:
+                raise ValueError(f"line {lineno}: malformed TYPE line: {line!r}")
+            if kind not in ("counter", "gauge", "histogram", "untyped"):
+                raise ValueError(f"line {lineno}: unknown metric type {kind!r}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {lineno}: unknown comment {line!r}")
+        # sample line: name[{labels}] value
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            labels_text, _, value_text = rest.rpartition("} ")
+            if not value_text:
+                raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+            labels: list[tuple[str, str]] = []
+            for item in _split_labels(labels_text):
+                if "=" not in item:
+                    raise ValueError(f"line {lineno}: malformed label {item!r}")
+                k, v = item.split("=", 1)
+                if len(v) < 2 or v[0] != '"' or v[-1] != '"':
+                    raise ValueError(f"line {lineno}: unquoted label value {v!r}")
+                labels.append(
+                    (k, v[1:-1].replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\"))
+                )
+        else:
+            try:
+                name, value_text = line.rsplit(" ", 1)
+            except ValueError:
+                raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+            labels = []
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise ValueError(f"line {lineno}: bad sample value {value_text!r}")
+        samples[(name.strip(), tuple(sorted(labels)))] = value
+    return {"types": types, "samples": samples}
+
+
+def _split_labels(text: str) -> list[str]:
+    """Split ``a="x",b="y"`` on commas outside quotes."""
+    items: list[str] = []
+    buf: list[str] = []
+    in_quotes = False
+    escaped = False
+    for ch in text:
+        if escaped:
+            buf.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            buf.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+            buf.append(ch)
+            continue
+        if ch == "," and not in_quotes:
+            items.append("".join(buf))
+            buf = []
+            continue
+        buf.append(ch)
+    if buf:
+        items.append("".join(buf))
+    return [i for i in items if i]
+
+
+#: display names of the two trace processes
+_PROCESS_NAMES = {
+    "virtual": "virtual time (simulated engine clock)",
+    "wall": "control plane (wall clock)",
+}
+
+
+def chrome_trace(tracer: SpanTracer) -> dict[str, object]:
+    """The tracer's spans as a Chrome ``trace_event`` JSON object.
+
+    Each track is one trace *process* (complete ``X`` events, microsecond
+    timestamps); open the result in ``about:tracing`` or Perfetto.
+    """
+    events: list[dict[str, object]] = []
+    for track, pid in sorted(TRACKS.items()):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": _PROCESS_NAMES.get(track, track)},
+            }
+        )
+    for span in tracer.spans:
+        pid = TRACKS[span.track]
+        base: dict[str, object] = {
+            "name": span.name,
+            "cat": span.track,
+            "pid": pid,
+            "tid": 0,
+            "ts": span.start_s * 1e6,
+            "args": {str(k): v for k, v in span.args.items()},
+        }
+        if span.end_s is None:
+            base["ph"] = "B"  # never closed: keep it visible, not dropped
+        else:
+            base["ph"] = "X"
+            base["dur"] = span.duration_s * 1e6
+        events.append(base)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_metrics(path: str | Path, registry: MetricRegistry) -> Path:
+    """Write the exposition text; returns the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_exposition(registry))
+    return out
+
+
+def write_trace(path: str | Path, tracer: SpanTracer) -> Path:
+    """Write the Chrome trace JSON; returns the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w") as fh:
+        json.dump(chrome_trace(tracer), fh, indent=1)
+    return out

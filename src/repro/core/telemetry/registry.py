@@ -1,0 +1,272 @@
+"""Dependency-free metrics registry: counters, gauges, histograms.
+
+Prometheus-shaped but stdlib-only: metrics are declared up front with a
+name, a help string and (optionally) label names; each distinct label-value
+combination is one time series.  The registry enforces the conventions the
+exposition format relies on:
+
+* **counters are monotone** -- a negative increment raises;
+* **histograms have fixed bucket layouts** chosen at registration (the
+  exporter renders cumulative ``le`` buckets plus ``_sum``/``_count``);
+* **labels are declared** -- observing with an undeclared or missing label
+  raises, so series never silently fork;
+* **cardinality is bounded** -- each metric may materialise at most
+  ``max_label_sets`` distinct series; the guard raises
+  :class:`LabelCardinalityError` instead of letting an unbounded label
+  (page ids, task ids of huge runs) eat memory.
+
+Nothing in here touches the simulator's RNG or state: recording telemetry
+can never perturb a run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "LabelCardinalityError",
+    "MetricRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+]
+
+#: generic default layout (powers-of-ten-ish, seconds or ratios)
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+
+
+class LabelCardinalityError(RuntimeError):
+    """A metric tried to materialise more label sets than the guard allows."""
+
+
+def _check_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c == "_" for c in name):
+        raise ValueError(f"invalid metric name {name!r}")
+    if name[0].isdigit():
+        raise ValueError(f"metric name must not start with a digit: {name!r}")
+
+
+class _Metric:
+    """Shared series bookkeeping for the three metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str],
+        max_label_sets: int,
+    ) -> None:
+        _check_name(name)
+        self.name = name
+        self.help = help
+        self.label_names: tuple[str, ...] = tuple(label_names)
+        self.max_label_sets = max_label_sets
+        #: label-value tuple (in declared order) -> series state
+        self._series: dict[tuple[str, ...], object] = {}
+        if not self.label_names:
+            # an unlabelled metric is exactly one series, live from birth
+            # (so exposition shows it at zero before the first event)
+            self._series[()] = self._new_series()
+
+    # -- series management ---------------------------------------------
+    def _new_series(self) -> object:
+        raise NotImplementedError
+
+    def _key(self, labels: Mapping[str, str]) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {sorted(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[n]) for n in self.label_names)
+
+    def _series_for(self, labels: Mapping[str, str]) -> object:
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            if len(self._series) >= self.max_label_sets:
+                raise LabelCardinalityError(
+                    f"{self.name}: more than {self.max_label_sets} label sets "
+                    f"(rejected {dict(zip(self.label_names, key))})"
+                )
+            series = self._new_series()
+            self._series[key] = series
+        return series
+
+    def series(self) -> dict[tuple[str, ...], object]:
+        """Materialised series, keyed by label-value tuple (exporter API)."""
+        return dict(self._series)
+
+
+class Counter(_Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def _new_series(self) -> list[float]:
+        return [0.0]
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if not (amount >= 0.0):  # also rejects NaN
+            raise ValueError(f"{self.name}: counter increment {amount!r} < 0")
+        self._series_for(labels)[0] += amount
+
+    def value(self, **labels: str) -> float:
+        series = self._series.get(self._key(labels))
+        return series[0] if series is not None else 0.0
+
+
+class Gauge(_Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def _new_series(self) -> list[float]:
+        return [0.0]
+
+    def set(self, value: float, **labels: str) -> None:
+        self._series_for(labels)[0] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        self._series_for(labels)[0] += amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        series = self._series.get(self._key(labels))
+        return series[0] if series is not None else 0.0
+
+
+@dataclass
+class HistogramSeries:
+    """One histogram time series: cumulative-style bucket counts + sum."""
+
+    bucket_counts: list[int]
+    sum: float = 0.0
+    count: int = 0
+
+
+class Histogram(_Metric):
+    """Distribution over a fixed, finite bucket layout (+inf is implicit)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str],
+        max_label_sets: int,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"{name}: histogram needs at least one bucket")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"{name}: bucket bounds must strictly increase")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError(f"{name}: bucket bounds must be finite (+inf is implicit)")
+        self.buckets = bounds
+        super().__init__(name, help, label_names, max_label_sets)
+
+    def _new_series(self) -> HistogramSeries:
+        # one extra slot for the implicit +inf bucket
+        return HistogramSeries(bucket_counts=[0] * (len(self.buckets) + 1))
+
+    def observe(self, value: float, **labels: str) -> None:
+        if math.isnan(value):
+            raise ValueError(f"{self.name}: observed NaN")
+        series = self._series_for(labels)
+        # first bucket whose upper bound admits the value (<= semantics)
+        idx = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                idx = i
+                break
+        series.bucket_counts[idx] += 1
+        series.sum += value
+        series.count += 1
+
+    def snapshot(self, **labels: str) -> HistogramSeries | None:
+        series = self._series.get(self._key(labels))
+        return series
+
+
+class MetricRegistry:
+    """Owns every metric; the unit the exporters serialise.
+
+    ``max_label_sets`` is the per-metric cardinality guard (instrumentation
+    in this repo only uses closed, enumerable label values, so the default
+    is generous).
+    """
+
+    def __init__(self, max_label_sets: int = 64) -> None:
+        if max_label_sets < 1:
+            raise ValueError("max_label_sets must be >= 1")
+        self.max_label_sets = max_label_sets
+        self._metrics: dict[str, _Metric] = {}
+
+    # -- registration ---------------------------------------------------
+    def _register(self, metric: _Metric) -> _Metric:
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            same = (
+                type(existing) is type(metric)
+                and existing.label_names == metric.label_names
+                and getattr(existing, "buckets", None)
+                == getattr(metric, "buckets", None)
+            )
+            if not same:
+                raise ValueError(
+                    f"metric {metric.name!r} already registered with a "
+                    f"different signature"
+                )
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter(name, help, labels, self.max_label_sets))
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge(name, help, labels, self.max_label_sets))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(
+            Histogram(name, help, labels, self.max_label_sets, buckets=buckets)
+        )
+
+    # -- lookup / iteration --------------------------------------------
+    def get(self, name: str) -> _Metric:
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise KeyError(f"metric {name!r} is not registered") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def collect(self) -> Iterable[_Metric]:
+        """Metrics in name order (the exporters' deterministic ordering)."""
+        for name in self.names():
+            yield self._metrics[name]

@@ -1,0 +1,130 @@
+"""Span tracer: nested, named time intervals over the placement pipeline.
+
+Two *tracks* (clocks) coexist in one trace, because the repository runs on
+two kinds of time:
+
+* ``virtual`` -- the engine's simulated clock.  Regions, migrations and
+  barriers live here; their timestamps are deterministic and seeded runs
+  produce identical span timelines.
+* ``wall`` -- real ``perf_counter`` time, measured from tracer creation.
+  The control plane's own cost lives here: estimation, endpoint
+  prediction, Algorithm-1 planning, base profiling, alpha refinement and
+  journal recovery all take *host* time while virtual time stands still.
+
+Spans on a track must nest (begin/end are LIFO per track); the tracer
+enforces that, so the Chrome ``trace_event`` exporter can emit complete
+("X") events that Perfetto renders as properly stacked slices.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "SpanTracer", "TRACKS"]
+
+#: track name -> trace process id (see exporters.chrome_trace)
+TRACKS = {"virtual": 1, "wall": 2}
+
+
+@dataclass
+class Span:
+    """One recorded interval.  ``end_s`` is None while the span is open."""
+
+    name: str
+    track: str
+    start_s: float
+    end_s: float | None = None
+    depth: int = 0
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end_s - self.start_s
+
+
+class SpanTracer:
+    """Collects spans; one instance per :class:`~repro.core.telemetry.Telemetry`."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._stacks: dict[str, list[Span]] = {name: [] for name in TRACKS}
+        self._wall_epoch = time.perf_counter()
+
+    # -- clocks ---------------------------------------------------------
+    def wall_now(self) -> float:
+        """Seconds of wall time since the tracer was created."""
+        return time.perf_counter() - self._wall_epoch
+
+    # -- explicit begin/end (virtual-time callers own the clock) --------
+    def begin(self, name: str, ts: float, track: str = "virtual", **args) -> Span:
+        stack = self._stacks[track]  # KeyError on unknown track is deliberate
+        span = Span(
+            name=name, track=track, start_s=float(ts), depth=len(stack), args=args
+        )
+        stack.append(span)
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span, ts: float) -> Span:
+        stack = self._stacks[span.track]
+        if not stack or stack[-1] is not span:
+            raise ValueError(
+                f"span {span.name!r} ended out of order on track {span.track!r}"
+            )
+        if float(ts) < span.start_s:
+            raise ValueError(
+                f"span {span.name!r} ends at {ts} before it began at {span.start_s}"
+            )
+        stack.pop()
+        span.end_s = float(ts)
+        return span
+
+    def add_complete(
+        self, name: str, ts: float, duration_s: float, track: str = "virtual", **args
+    ) -> Span:
+        """Record an already-finished interval (retroactive; no stack walk).
+
+        Its depth is one below the innermost currently-open span on the
+        track, so the exporter nests it where it happened.
+        """
+        if duration_s < 0:
+            raise ValueError(f"span {name!r} has negative duration {duration_s}")
+        span = Span(
+            name=name,
+            track=track,
+            start_s=float(ts),
+            end_s=float(ts) + float(duration_s),
+            depth=len(self._stacks[track]),
+            args=args,
+        )
+        self.spans.append(span)
+        return span
+
+    # -- wall-clock convenience ----------------------------------------
+    @contextmanager
+    def wall_span(self, name: str, **args):
+        span = self.begin(name, self.wall_now(), track="wall", **args)
+        try:
+            yield span
+        finally:
+            self.end(span, self.wall_now())
+
+    # -- inspection -----------------------------------------------------
+    def open_spans(self, track: str | None = None) -> list[Span]:
+        if track is not None:
+            return list(self._stacks[track])
+        return [s for stack in self._stacks.values() for s in stack]
+
+    def closed_spans(self, track: str | None = None) -> list[Span]:
+        return [
+            s
+            for s in self.spans
+            if s.end_s is not None and (track is None or s.track == track)
+        ]
+
+    def by_name(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]

@@ -23,6 +23,7 @@ from repro.baselines import (
 )
 from repro.core import Merchandiser
 from repro.core.runtime import MerchandiserPolicy
+from repro.core.telemetry import Telemetry
 from repro.sim import Engine, MachineModel, RunResult, optane_hm_config
 
 __all__ = ["ExperimentContext", "acv", "format_table"]
@@ -71,6 +72,11 @@ class ExperimentContext:
 
     seed: int = 0
     fast: bool = True
+    #: shared telemetry sink for every engine the harness builds; ``None``
+    #: (the default) keeps all runs bit-identical to the uninstrumented
+    #: harness.  The runner sets this when ``--metrics-out``/``--trace-out``
+    #: is requested.
+    telemetry: Telemetry | None = None
     _system: Merchandiser | None = None
     _runs: dict = field(default_factory=dict)
     _workloads: dict = field(default_factory=dict)
@@ -80,7 +86,7 @@ class ExperimentContext:
     # ------------------------------------------------------------------
     @property
     def engine(self) -> Engine:
-        return Engine(MachineModel(), optane_hm_config())
+        return Engine(MachineModel(), optane_hm_config(), telemetry=self.telemetry)
 
     @property
     def system(self) -> Merchandiser:

@@ -26,6 +26,7 @@ from repro.experiments import (
     fig5,
     fig6,
     fig7,
+    observability,
     overhead,
     recovery,
     robustness,
@@ -53,6 +54,7 @@ EXPERIMENTS = {
     "sensitivity": sensitivity.run,
     "robustness": robustness.run,
     "recovery": recovery.run,
+    "observability": observability.run,
 }
 
 #: cheap-first ordering so failures surface early
@@ -72,6 +74,7 @@ DEFAULT_ORDER = (
     "sensitivity",
     "robustness",
     "recovery",
+    "observability",
 )
 
 
@@ -94,14 +97,34 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write each experiment's result as JSON into DIR",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write Prometheus-style text exposition of all engine runs to FILE",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace_event JSON (about:tracing / Perfetto) to FILE",
+    )
     args = parser.parse_args(argv)
 
     names = list(DEFAULT_ORDER) if "all" in args.experiments else args.experiments
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
-        parser.error(f"unknown experiments: {unknown}")
+        parser.error(
+            f"unknown experiments: {', '.join(unknown)} "
+            f"(valid choices: all, {', '.join(DEFAULT_ORDER)})"
+        )
 
-    ctx = ExperimentContext(seed=args.seed, fast=not args.full)
+    telemetry = None
+    if args.metrics_out or args.trace_out:
+        from repro.core.telemetry import Telemetry
+
+        telemetry = Telemetry()
+    ctx = ExperimentContext(seed=args.seed, fast=not args.full, telemetry=telemetry)
     results = {}
     failed: list[str] = []
     for name in names:
@@ -131,6 +154,15 @@ def main(argv: list[str] | None = None) -> int:
 
             path = write_result(args.json, name, results[name])
             print(f"[result written to {path}]")
+    if telemetry is not None:
+        from repro.core.telemetry import write_metrics, write_trace
+
+        if args.metrics_out:
+            write_metrics(args.metrics_out, telemetry.registry)
+            print(f"[metrics written to {args.metrics_out}]")
+        if args.trace_out:
+            write_trace(args.trace_out, telemetry.tracer)
+            print(f"[trace written to {args.trace_out}]")
     if failed:
         print(f"FAILED experiments: {', '.join(failed)}")
         return 1

@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover
     # imported lazily at runtime: repro.core.journal pulls in the whole
     # core package, which itself imports this module
     from repro.core.journal import CrashImage, RecoveryOutcome, WriteAheadLog
+    from repro.core.telemetry import Telemetry
 
 __all__ = [
     "EngineConfig",
@@ -77,6 +78,7 @@ class EngineContext:
         hm: HMConfig,
         rng: np.random.Generator,
         faults: FaultInjector | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self.workload = workload
         self.page_table = page_table
@@ -85,6 +87,9 @@ class EngineContext:
         self.rng = rng
         #: fault injector the engine and profilers consult (None = healthy)
         self.faults = faults
+        #: shared telemetry (repro.core.telemetry); policies read it off the
+        #: context so instrumentation follows the run, not the object graph
+        self.telemetry = telemetry
         self.time = 0.0
         self.region: ParallelRegion | None = None
         self.region_index = -1
@@ -245,6 +250,7 @@ class Engine:
         config: EngineConfig | None = None,
         faults: FaultInjector | None = None,
         journal: "WriteAheadLog | None" = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         from repro.sim.memspec import optane_hm_config
 
@@ -259,6 +265,14 @@ class Engine:
         #: every epoch/move/commit is logged ahead of application so a
         #: crashed run can be recovered via :meth:`recover`.
         self.journal = journal
+        #: optional telemetry (repro.core.telemetry.Telemetry).  ``None``
+        #: (the default) keeps the engine bit-identical to the
+        #: uninstrumented pipeline; attached, the engine records migration/
+        #: occupancy/duration metrics and virtual-time spans, and shares the
+        #: object with the policy (via the context) and the journal.
+        self.telemetry = telemetry
+        if journal is not None and telemetry is not None and journal.telemetry is None:
+            journal.telemetry = telemetry
         self._epochs_since_checkpoint = 0
 
     # ------------------------------------------------------------------
@@ -281,8 +295,11 @@ class Engine:
                 workload.objects, self.hm.dram.capacity_bytes, rng=rng
             )
         ctx = EngineContext(
-            workload, page_table, self.machine, self.hm, rng, faults=self.faults
+            workload, page_table, self.machine, self.hm, rng,
+            faults=self.faults, telemetry=self.telemetry,
         )
+        if self.telemetry is not None:
+            self.telemetry.inc("merch_engine_runs_total")
         policy.on_workload_start(ctx)
         self._epochs_since_checkpoint = 0
         return self._run_regions(ctx, policy, start_region=0)
@@ -312,6 +329,8 @@ class Engine:
         if journal is None:
             raise ValueError("cannot recover a run that was not journaled")
         self.journal = journal
+        if self.telemetry is not None and journal.telemetry is None:
+            journal.telemetry = self.telemetry
         outcome = recover_journal(journal, image.page_table)
         self._verify_task_conservation(workload, image, outcome)
         if outcome.checkpoint_state is not None:
@@ -319,9 +338,11 @@ class Engine:
         rng = make_rng(seed)
         ctx = EngineContext(
             workload, image.page_table, self.machine, self.hm, rng,
-            faults=self.faults,
+            faults=self.faults, telemetry=self.telemetry,
         )
         ctx.time = outcome.resume_time_s
+        if self.telemetry is not None:
+            self.telemetry.inc("merch_engine_runs_total")
         policy.on_recover(ctx)
         journal.append(
             "recovered",
@@ -390,12 +411,29 @@ class Engine:
         trace_d: list[float] = []
         trace_p: list[float] = []
         trace_m: list[float] = []
+        tel = self.telemetry
+        run_span = (
+            tel.tracer.begin(
+                "run", ctx.time, track="virtual",
+                workload=workload.name, policy=policy.name,
+            )
+            if tel is not None
+            else None
+        )
 
         for idx in range(start_region, len(workload.regions)):
             region = workload.regions[idx]
             ctx.region = region
             ctx.region_index = idx
             ctx.progress = {inst.task_id: 0.0 for inst in region.instances}
+            region_span = (
+                tel.tracer.begin(
+                    "region", ctx.time, track="virtual",
+                    index=idx, region=region.name, instances=len(region.instances),
+                )
+                if tel is not None
+                else None
+            )
             self._refresh_times(ctx)
             policy.on_region_start(ctx)
             self._refresh_times(ctx)
@@ -411,6 +449,16 @@ class Engine:
             policy.on_region_end(ctx)
             if self.journal is not None:
                 self._journal_epoch_commit(ctx, epoch, begin_payload, policy)
+            if tel is not None:
+                tel.tracer.end(region_span, ctx.time)
+                tel.inc("merch_engine_regions_total")
+                tel.observe(
+                    "merch_engine_region_duration_seconds", result.duration_s
+                )
+                for wait in result.wait_s.values():
+                    tel.observe("merch_engine_barrier_wait_seconds", wait)
+        if tel is not None:
+            tel.tracer.end(run_span, ctx.time)
 
         fault_log = self.faults.log if self.faults is not None else None
         guard_log = getattr(policy, "guardrail_log", None)
@@ -497,6 +545,11 @@ class Engine:
             self.journal.log.record(
                 "journal.invariant_violation", ctx.time, detail_text=text
             )
+        if self.telemetry is not None and begin_payload is not None:
+            self.telemetry.observe(
+                "merch_engine_epoch_duration_seconds",
+                ctx.time - float(begin_payload["time_s"]),
+            )
         self._epochs_since_checkpoint += 1
         if self._epochs_since_checkpoint >= max(1, self.config.checkpoint_interval):
             state = policy.snapshot_state()
@@ -569,6 +622,7 @@ class Engine:
         cfg = self.config
         region = ctx.region
         assert region is not None
+        tel = self.telemetry
         start = ctx.time
         finish: dict[str, float] = {}
 
@@ -670,6 +724,15 @@ class Engine:
                         ctx.pages_migrated += evicted
                         tick_pm_bytes += evicted * PAGE_SIZE
                         tick_dram_bytes += evicted * PAGE_SIZE
+                        if tel is not None:
+                            tel.inc(
+                                "merch_engine_pages_migrated_total",
+                                evicted, cause="pressure",
+                            )
+                            tel.inc(
+                                "merch_engine_bytes_migrated_total",
+                                evicted * PAGE_SIZE, cause="pressure",
+                            )
 
             # phase 3: policy-driven migration, throttled by bandwidth.
             # Injected faults may reject the batch or fail part of it
@@ -711,6 +774,22 @@ class Engine:
                     ctx.migration_overhead_s += (
                         moved * self.hm.page_migration_overhead_s
                     )
+                    if tel is not None and moved:
+                        overhead = moved * self.hm.page_migration_overhead_s
+                        tel.inc(
+                            "merch_engine_pages_migrated_total", moved, cause="policy"
+                        )
+                        tel.inc(
+                            "merch_engine_bytes_migrated_total",
+                            mig_bytes, cause="policy",
+                        )
+                        tel.inc(
+                            "merch_engine_migration_overhead_seconds_total", overhead
+                        )
+                        tel.tracer.add_complete(
+                            "migrate", ctx.time, overhead,
+                            track="virtual", pages=moved, cause="policy",
+                        )
                     # migration reads PM and writes DRAM (promotions) or the
                     # reverse; charge both tiers the full copy traffic
                     tick_pm_bytes += mig_bytes
@@ -722,11 +801,25 @@ class Engine:
                 trace_p.append(tick_pm_bytes / dt)
                 trace_m.append(mig_bytes / dt)
 
+            if tel is not None:
+                tel.inc("merch_engine_ticks_total")
+                tel.set(
+                    "merch_engine_dram_occupancy_ratio",
+                    ctx.page_table.dram_used_bytes()
+                    / max(ctx.page_table.dram_capacity_bytes, 1),
+                )
+
             ctx.time += dt
 
         # the barrier releases at the last finish time; snap region end there
         end = max(finish.values())
         ctx.time = end
+        if tel is not None:
+            first = min(finish.values())
+            tel.tracer.add_complete(
+                "barrier", first, end - first,
+                track="virtual", tasks=len(finish),
+            )
         busy = {t: finish[t] - start for t in finish}
         wait = {t: end - finish[t] for t in finish}
         return RegionResult(

@@ -1,0 +1,82 @@
+"""OBSERVABILITY.md must document 100% of registered metric names.
+
+The doc's reference tables are diffed against the canonical instrument
+catalogue (``repro.core.telemetry.instruments.METRIC_SPECS``): a metric
+added to the code without a doc row fails, as does a doc row for a metric
+that no longer exists.  Declared types, labels and span names are checked
+too, so the reference cannot silently rot.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core.telemetry import METRIC_SPECS, Telemetry, spec_names
+
+DOC = Path(__file__).resolve().parent.parent / "OBSERVABILITY.md"
+
+#: a metric reference row: | `merch_...` | kind | labels | semantics |
+ROW = re.compile(r"^\|\s*`(merch_[a-z0-9_]+)`\s*\|\s*(\w+)\s*\|\s*(.*?)\s*\|")
+
+
+def _doc_rows() -> dict[str, tuple[str, str]]:
+    rows: dict[str, tuple[str, str]] = {}
+    for line in DOC.read_text().splitlines():
+        m = ROW.match(line)
+        if m:
+            rows[m.group(1)] = (m.group(2), m.group(3))
+    return rows
+
+
+def test_doc_exists():
+    assert DOC.exists(), "OBSERVABILITY.md is missing"
+
+
+def test_every_registered_metric_is_documented():
+    missing = spec_names() - set(_doc_rows())
+    assert not missing, f"metrics missing from OBSERVABILITY.md: {sorted(missing)}"
+
+
+def test_every_documented_metric_is_registered():
+    stale = set(_doc_rows()) - spec_names()
+    assert not stale, f"OBSERVABILITY.md documents unknown metrics: {sorted(stale)}"
+
+
+def test_documented_types_match_the_catalogue():
+    rows = _doc_rows()
+    for spec in METRIC_SPECS:
+        doc_kind, _ = rows[spec.name]
+        assert doc_kind == spec.kind, (
+            f"{spec.name}: documented as {doc_kind!r}, registered as {spec.kind!r}"
+        )
+
+
+def test_documented_labels_match_the_catalogue():
+    rows = _doc_rows()
+    for spec in METRIC_SPECS:
+        _, doc_labels = rows[spec.name]
+        for label in spec.labels:
+            assert f"`{label}`" in doc_labels, (
+                f"{spec.name}: label {label!r} not in doc row ({doc_labels!r})"
+            )
+        if not spec.labels:
+            assert "`" not in doc_labels.replace("\\|", ""), (
+                f"{spec.name}: doc row lists labels but the metric has none"
+            )
+
+
+def test_span_taxonomy_documents_emitted_spans():
+    """Every span name the instrumentation emits appears in the doc."""
+    text = DOC.read_text()
+    for span in ("run", "region", "migrate", "barrier", "region_prepare",
+                 "estimate", "predict", "plan", "profile", "refine",
+                 "recover"):
+        assert f"`{span}`" in text, f"span {span!r} undocumented"
+
+
+def test_catalogue_sizes_agree():
+    """The doc tables cover exactly the catalogue, and the live registry
+    registers exactly the catalogue."""
+    assert len(_doc_rows()) == len(METRIC_SPECS)
+    assert set(Telemetry().registry.names()) == spec_names()

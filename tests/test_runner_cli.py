@@ -15,7 +15,7 @@ class TestRegistry:
         for name in ("table1", "table2", "fig3", "fig4", "fig5", "fig6",
                      "fig7", "table3", "table4", "overhead", "ablation",
                      "extensibility", "sensitivity", "robustness",
-                     "recovery"):
+                     "recovery", "observability"):
             assert name in runner.EXPERIMENTS
 
 
@@ -27,8 +27,32 @@ class TestCli:
         assert "SpGEMM" in out
 
     def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["figure99"])
+        assert excinfo.value.code != 0
+
+    def test_unknown_experiment_error_lists_choices(self, capsys):
+        """The error names the offender AND every valid choice."""
         with pytest.raises(SystemExit):
             runner.main(["figure99"])
+        err = capsys.readouterr().err
+        assert "figure99" in err
+        assert "valid choices" in err
+        for name in runner.DEFAULT_ORDER:
+            assert name in err
+
+    def test_metrics_and_trace_out(self, tmp_path, capsys):
+        from repro.core.telemetry import parse_exposition
+
+        metrics = tmp_path / "metrics.prom"
+        trace = tmp_path / "trace.json"
+        assert runner.main(
+            ["table1", "--metrics-out", str(metrics), "--trace-out", str(trace)]
+        ) == 0
+        parsed = parse_exposition(metrics.read_text())
+        assert len(parsed["types"]) >= 29
+        data = json.loads(trace.read_text())
+        assert "traceEvents" in data
 
     def test_json_export(self, tmp_path, capsys):
         assert runner.main(["table1", "--json", str(tmp_path)]) == 0

@@ -1,0 +1,321 @@
+"""Unit tests for repro.core.telemetry: registry, spans, exporters."""
+
+import json
+
+import pytest
+
+from repro.core.telemetry import (
+    METRIC_SPECS,
+    LabelCardinalityError,
+    MetricRegistry,
+    SpanTracer,
+    Telemetry,
+    chrome_trace,
+    parse_exposition,
+    render_exposition,
+    spec_names,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricRegistry()
+        c = reg.counter("x_total", "help")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_negative_increment_raises(self):
+        c = MetricRegistry().counter("x_total")
+        with pytest.raises(ValueError, match="< 0"):
+            c.inc(-1.0)
+        assert c.value() == 0.0
+
+    def test_nan_increment_raises(self):
+        c = MetricRegistry().counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(float("nan"))
+
+    def test_labelled_series_are_independent(self):
+        c = MetricRegistry().counter("x_total", labels=["cause"])
+        c.inc(3, cause="policy")
+        c.inc(4, cause="pressure")
+        assert c.value(cause="policy") == 3
+        assert c.value(cause="pressure") == 4
+
+    def test_undeclared_label_raises(self):
+        c = MetricRegistry().counter("x_total", labels=["cause"])
+        with pytest.raises(ValueError, match="expected labels"):
+            c.inc(1, cause="policy", extra="nope")
+        with pytest.raises(ValueError, match="expected labels"):
+            c.inc(1)  # missing declared label
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricRegistry().gauge("g")
+        g.set(10.0)
+        g.inc(5.0)
+        g.dec(2.0)
+        assert g.value() == 13.0
+
+
+class TestHistogram:
+    def test_bucketing_le_semantics(self):
+        h = MetricRegistry().histogram("h", buckets=(1.0, 5.0, 10.0))
+        h.observe(1.0)   # == bound -> first bucket (le semantics)
+        h.observe(0.5)   # first bucket
+        h.observe(7.0)   # third bucket
+        h.observe(100.0) # +inf bucket
+        s = h.snapshot()
+        assert s.bucket_counts == [2, 0, 1, 1]
+        assert s.count == 4
+        assert s.sum == pytest.approx(108.5)
+
+    def test_bounds_must_strictly_increase(self):
+        reg = MetricRegistry()
+        with pytest.raises(ValueError, match="strictly increase"):
+            reg.histogram("bad", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="strictly increase"):
+            reg.histogram("bad2", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="finite"):
+            reg.histogram("bad3", buckets=(1.0, float("inf")))
+
+    def test_observe_nan_raises(self):
+        h = MetricRegistry().histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError, match="NaN"):
+            h.observe(float("nan"))
+
+
+class TestCardinalityGuard:
+    def test_guard_raises_past_the_cap(self):
+        c = MetricRegistry(max_label_sets=3).counter("x_total", labels=["id"])
+        for i in range(3):
+            c.inc(1, id=str(i))
+        with pytest.raises(LabelCardinalityError):
+            c.inc(1, id="3")
+        # existing series still work after the rejection
+        c.inc(1, id="0")
+        assert c.value(id="0") == 2
+
+    def test_telemetry_facade_uses_the_guard(self):
+        tel = Telemetry(max_label_sets=1)
+        tel.inc("merch_engine_pages_migrated_total", 1, cause="policy")
+        with pytest.raises(LabelCardinalityError):
+            tel.inc("merch_engine_pages_migrated_total", 1, cause="pressure")
+
+
+class TestRegistry:
+    def test_reregistration_is_idempotent(self):
+        reg = MetricRegistry()
+        a = reg.counter("x_total", "h", labels=["l"])
+        b = reg.counter("x_total", "h", labels=["l"])
+        assert a is b
+
+    def test_signature_conflict_raises(self):
+        reg = MetricRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError, match="different signature"):
+            reg.gauge("x_total")
+        with pytest.raises(ValueError, match="different signature"):
+            reg.counter("x_total", labels=["l"])
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError, match="not registered"):
+            MetricRegistry().get("nope")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("has space")
+        with pytest.raises(ValueError):
+            reg.counter("9starts_with_digit")
+
+
+class TestSpans:
+    def test_nesting_and_depth(self):
+        tr = SpanTracer()
+        outer = tr.begin("outer", 0.0)
+        inner = tr.begin("inner", 1.0)
+        assert (outer.depth, inner.depth) == (0, 1)
+        tr.end(inner, 2.0)
+        tr.end(outer, 3.0)
+        assert [s.name for s in tr.closed_spans()] == ["outer", "inner"]
+        assert inner.duration_s == 1.0
+
+    def test_out_of_order_end_raises(self):
+        tr = SpanTracer()
+        outer = tr.begin("outer", 0.0)
+        tr.begin("inner", 1.0)
+        with pytest.raises(ValueError, match="out of order"):
+            tr.end(outer, 2.0)
+
+    def test_end_before_start_raises(self):
+        tr = SpanTracer()
+        s = tr.begin("s", 5.0)
+        with pytest.raises(ValueError, match="before it began"):
+            tr.end(s, 4.0)
+
+    def test_tracks_nest_independently(self):
+        tr = SpanTracer()
+        v = tr.begin("v", 0.0, track="virtual")
+        w = tr.begin("w", 0.0, track="wall")
+        tr.end(v, 1.0)  # no out-of-order error: separate stacks
+        tr.end(w, 1.0)
+
+    def test_add_complete_is_retroactive(self):
+        tr = SpanTracer()
+        outer = tr.begin("outer", 0.0)
+        s = tr.add_complete("migrate", 2.0, 0.5, pages=7)
+        assert s.depth == 1 and s.end_s == 2.5 and s.args["pages"] == 7
+        with pytest.raises(ValueError, match="negative duration"):
+            tr.add_complete("bad", 0.0, -1.0)
+        tr.end(outer, 3.0)
+
+    def test_wall_span_closes_on_exception(self):
+        tr = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tr.wall_span("w"):
+                raise RuntimeError("boom")
+        assert tr.open_spans() == []
+        assert tr.closed_spans()[0].name == "w"
+
+    def test_duration_of_open_span_raises(self):
+        tr = SpanTracer()
+        s = tr.begin("s", 0.0)
+        with pytest.raises(ValueError, match="still open"):
+            _ = s.duration_s
+
+
+EXPECTED_GOLDEN = """\
+# HELP demo_count_total things counted
+# TYPE demo_count_total counter
+demo_count_total{kind="a"} 2
+demo_count_total{kind="b"} 0.5
+# HELP demo_lat_seconds latency
+# TYPE demo_lat_seconds histogram
+demo_lat_seconds_bucket{le="0.1"} 1
+demo_lat_seconds_bucket{le="1"} 2
+demo_lat_seconds_bucket{le="+Inf"} 3
+demo_lat_seconds_sum 10.5625
+demo_lat_seconds_count 3
+# HELP demo_ratio current ratio
+# TYPE demo_ratio gauge
+demo_ratio 0.25
+"""
+
+
+def _golden_registry() -> MetricRegistry:
+    reg = MetricRegistry()
+    reg.counter("demo_count_total", "things counted", labels=["kind"])
+    reg.histogram("demo_lat_seconds", "latency", buckets=(0.1, 1.0))
+    reg.gauge("demo_ratio", "current ratio")
+    reg.get("demo_count_total").inc(2, kind="a")
+    reg.get("demo_count_total").inc(0.5, kind="b")
+    # exactly representable in binary so the golden _sum is stable
+    for v in (0.0625, 0.5, 10.0):
+        reg.get("demo_lat_seconds").observe(v)
+    reg.get("demo_ratio").set(0.25)
+    return reg
+
+
+class TestExposition:
+    def test_golden_output(self):
+        assert render_exposition(_golden_registry()) == EXPECTED_GOLDEN
+
+    def test_deterministic(self):
+        reg = _golden_registry()
+        assert render_exposition(reg) == render_exposition(reg)
+
+    def test_parse_round_trip(self):
+        parsed = parse_exposition(render_exposition(_golden_registry()))
+        assert parsed["types"] == {
+            "demo_count_total": "counter",
+            "demo_lat_seconds": "histogram",
+            "demo_ratio": "gauge",
+        }
+        samples = parsed["samples"]
+        assert samples[("demo_count_total", (("kind", "a"),))] == 2
+        assert samples[("demo_ratio", ())] == 0.25
+        assert samples[("demo_lat_seconds_bucket", (("le", "+Inf"),))] == 3
+        assert samples[("demo_lat_seconds_sum", ())] == pytest.approx(10.5625)
+
+    def test_label_values_escaped_and_round_tripped(self):
+        reg = MetricRegistry()
+        c = reg.counter("esc_total", labels=["path"])
+        c.inc(1, path='a"b\\c')
+        parsed = parse_exposition(render_exposition(reg))
+        assert parsed["samples"][("esc_total", (("path", 'a"b\\c'),))] == 1
+
+    def test_malformed_lines_raise(self):
+        for bad in (
+            "# TYPE broken",
+            "# TYPE x sometype",
+            "# UNKNOWN comment",
+            "name_without_value",
+            'metric{l="v"} not_a_number',
+        ):
+            with pytest.raises(ValueError):
+                parse_exposition(bad)
+
+
+class TestChromeTrace:
+    def test_structure_and_timestamps(self):
+        tr = SpanTracer()
+        outer = tr.begin("run", 0.0, track="virtual", workload="wl")
+        tr.add_complete("migrate", 1.0, 0.25, track="virtual", pages=3)
+        tr.end(outer, 2.0)
+        with tr.wall_span("plan"):
+            pass
+        doc = chrome_trace(tr)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {m["pid"] for m in meta} == {1, 2}
+        run = next(e for e in events if e["name"] == "run")
+        assert run["ph"] == "X"
+        assert run["ts"] == 0.0 and run["dur"] == pytest.approx(2e6)
+        assert run["args"] == {"workload": "wl"}
+        migrate = next(e for e in events if e["name"] == "migrate")
+        assert migrate["ts"] == pytest.approx(1e6)
+        assert migrate["dur"] == pytest.approx(0.25e6)
+        plan = next(e for e in events if e["name"] == "plan")
+        assert plan["pid"] == 2
+        json.dumps(doc)  # must be serialisable
+
+    def test_open_spans_become_begin_events(self):
+        tr = SpanTracer()
+        tr.begin("unclosed", 0.0)
+        events = chrome_trace(tr)["traceEvents"]
+        unclosed = next(e for e in events if e["name"] == "unclosed")
+        assert unclosed["ph"] == "B"
+
+
+class TestInstrumentCatalogue:
+    def test_all_specs_registered_in_telemetry(self):
+        tel = Telemetry()
+        for name in spec_names():
+            assert name in tel.registry
+
+    def test_naming_conventions(self):
+        for spec in METRIC_SPECS:
+            assert spec.name.startswith("merch_"), spec.name
+            if spec.kind == "counter":
+                assert spec.name.endswith("_total"), spec.name
+            else:
+                assert not spec.name.endswith("_total"), spec.name
+            assert spec.help, f"{spec.name} has no help text"
+
+    def test_exposition_shows_every_family_at_zero(self):
+        parsed = parse_exposition(Telemetry().exposition())
+        assert set(parsed["types"]) == set(spec_names())
+
+    def test_facade_helpers(self):
+        tel = Telemetry()
+        tel.inc("merch_engine_runs_total")
+        tel.set("merch_engine_dram_occupancy_ratio", 0.5)
+        tel.observe("merch_engine_region_duration_seconds", 10.0)
+        assert tel.op_count == 3
+        parsed = parse_exposition(tel.exposition())
+        assert parsed["samples"][("merch_engine_runs_total", ())] == 1
