@@ -276,6 +276,34 @@ class CorrelationFunction:
         X[:, -1] = ratios
         return np.clip(self.model.predict(X), 0.05, 5.0)
 
+    def predict_stacked(
+        self, pmcs_seq: Sequence[Mapping[str, float]], ratios
+    ) -> np.ndarray:
+        """f(.) for many counter sets over one shared ratio grid.
+
+        Returns shape ``(len(pmcs_seq), len(ratios))``.  The whole batch is
+        evaluated with a *single* model call: the GBR walks its estimator
+        list once per call, so stacking k tasks' grids amortises that
+        per-call cost k ways.  This is the kernel behind the placement
+        service's batched planning (one call per request batch instead of
+        one per task).
+        """
+        ratios = np.asarray(ratios, dtype=np.float64)
+        if ratios.ndim != 1:
+            raise ValueError("ratios must be 1-D")
+        if ((ratios < 0) | (ratios > 1)).any():
+            raise ValueError("ratios must be within [0, 1]")
+        if len(pmcs_seq) == 0:
+            return np.empty((0, len(ratios)))
+        n_r = len(ratios)
+        X = np.empty((len(pmcs_seq) * n_r, len(self.events) + 1))
+        for i, pmcs in enumerate(pmcs_seq):
+            block = slice(i * n_r, (i + 1) * n_r)
+            X[block, :-1] = [pmcs[e] for e in self.events]
+            X[block, -1] = ratios
+        flat = np.clip(self.model.predict(X), 0.05, 5.0)
+        return flat.reshape(len(pmcs_seq), n_r)
+
     # -- feature selection ---------------------------------------------
     @staticmethod
     def select_events(

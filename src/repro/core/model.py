@@ -85,3 +85,30 @@ class PerformanceModel:
             + task.t_dram_only * ratios
         )
         return np.where(ratios >= 1.0, task.t_dram_only, times)
+
+    def ratio_grids(self, tasks, ratios) -> "dict[str, np.ndarray]":
+        """Equation 2 grids for *many* tasks with one stacked f(.) call.
+
+        Numerically identical to calling :meth:`ratio_grid` per task, but
+        the underlying model walks its estimator list once for the whole
+        batch instead of once per task -- the amortisation the placement
+        service's batched planning relies on.  Falls back to per-task
+        calls when the correlation object lacks ``predict_stacked`` (any
+        drop-in f(.) only has to provide ``predict_batch``).
+        """
+        import numpy as np
+
+        tasks = list(tasks)
+        stacked = getattr(self.correlation, "predict_stacked", None)
+        if stacked is None:
+            return {t.task_id: self.ratio_grid(t, ratios) for t in tasks}
+        ratios = np.asarray(ratios, dtype=np.float64)
+        f_rows = stacked([t.pmcs for t in tasks], ratios)
+        out: dict[str, np.ndarray] = {}
+        for t, f_vals in zip(tasks, f_rows):
+            times = (
+                t.t_pm_only * (1.0 - ratios) * f_vals
+                + t.t_dram_only * ratios
+            )
+            out[t.task_id] = np.where(ratios >= 1.0, t.t_dram_only, times)
+        return out

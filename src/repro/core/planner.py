@@ -70,6 +70,7 @@ def greedy_plan(
     dram_capacity_bytes: int,
     task_bytes: Mapping[str, int],
     step: float = 0.05,
+    grids: Mapping[str, "np.ndarray"] | None = None,
 ) -> PlanResult:
     """Algorithm 1.
 
@@ -78,6 +79,10 @@ def greedy_plan(
     pseudocode, two termination details are made explicit: a task saturated
     at 100 % DRAM accesses is excluded from further rounds, and the final
     allocation is clamped to capacity.
+
+    ``grids`` may carry precomputed per-task predicted-time grids over this
+    step's ratio levels (``model.ratio_grids``); the placement service uses
+    it to price a whole request batch with one stacked model call.
     """
     if not tasks:
         raise ValueError("no tasks to plan for")
@@ -93,7 +98,12 @@ def greedy_plan(
     # stacked model call per task (Algorithm 1 only ever visits grid points)
     levels = np.round(np.arange(0.0, 1.0 + step / 2, step), 10)
     levels[-1] = min(levels[-1], 1.0)
-    grid = {t.task_id: model.ratio_grid(t, levels) for t in tasks}
+    if grids is None:
+        grid = {t.task_id: model.ratio_grid(t, levels) for t in tasks}
+    else:
+        grid = {t.task_id: grids[t.task_id] for t in tasks}
+        if any(len(g) != len(levels) for g in grid.values()):
+            raise ValueError("precomputed grids do not match the step grid")
     by_id = {t.task_id: t for t in tasks}
 
     def level_index(value: float) -> int:

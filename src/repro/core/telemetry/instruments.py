@@ -39,6 +39,8 @@ BYTES = (
     256.0, 1024.0, 4096.0, 16384.0, 65536.0,
     262144.0, 1048576.0, 4194304.0, 16777216.0,
 )
+#: small discrete counts (request batch sizes)
+COUNT = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 @dataclass(frozen=True)
@@ -190,6 +192,64 @@ METRIC_SPECS: tuple[MetricSpec, ...] = (
         "Wall-clock time of one journal recovery replay "
         "(reopen + rollback + invariant verification).",
         buckets=WALL_SECONDS,
+    ),
+    # -- placement service ----------------------------------------------
+    MetricSpec(
+        "merch_service_requests_total", "counter",
+        "Placement requests decided, by how the answer was produced.",
+        labels=("status",),  # planned | cached | deduplicated | shed
+    ),
+    MetricSpec(
+        "merch_service_request_latency_seconds", "histogram",
+        "Admission-to-decision latency of each request on the server's clock.",
+        buckets=WALL_SECONDS,
+    ),
+    MetricSpec(
+        "merch_service_batches_total", "counter",
+        "Request batches planned (one shared-quota planner call each).",
+    ),
+    MetricSpec(
+        "merch_service_batch_size_requests", "histogram",
+        "Requests coalesced into each fired batch.",
+        buckets=COUNT,
+    ),
+    MetricSpec(
+        "merch_service_cache_hits_total", "counter",
+        "Prediction-cache lookups answered from a live entry.",
+    ),
+    MetricSpec(
+        "merch_service_cache_misses_total", "counter",
+        "Prediction-cache lookups that fell through to computation.",
+    ),
+    MetricSpec(
+        "merch_service_cache_evictions_total", "counter",
+        "Prediction-cache entries removed, by reason.",
+        labels=("reason",),  # capacity | ttl | invalidated
+    ),
+    MetricSpec(
+        "merch_service_shed_total", "counter",
+        "Requests answered with the degrade-to-daemon fallback "
+        "(admission saturation or exhausted batch retries).",
+    ),
+    MetricSpec(
+        "merch_service_queue_depth", "gauge",
+        "Pending (admitted, undecided) requests, sampled on every "
+        "enqueue/dequeue.",
+    ),
+    MetricSpec(
+        "merch_service_saturation_transitions_total", "counter",
+        "Admission-controller state transitions.",
+        labels=("to",),  # saturated | normal
+    ),
+    MetricSpec(
+        "merch_service_pool_jobs_total", "counter",
+        "Jobs dispatched to the worker pool, by execution mode.",
+        labels=("mode",),  # serial | thread | process
+    ),
+    MetricSpec(
+        "merch_service_dram_pages_granted_total", "counter",
+        "DRAM pages granted across all batch decisions "
+        "(cached grants included in their batch's ledger).",
     ),
 )
 

@@ -20,7 +20,15 @@ def to_jsonable(value):
     """Recursively convert an experiment result into JSON-encodable data."""
     if isinstance(value, dict):
         return {_key(k): to_jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple, set)):
+    if isinstance(value, (set, frozenset)):
+        # sets carry no order; emit a canonical one so exports (and the
+        # sequential-vs---jobs byte-identity contract) are deterministic
+        try:
+            ordered = sorted(value)
+        except TypeError:
+            ordered = sorted(value, key=repr)
+        return [to_jsonable(v) for v in ordered]
+    if isinstance(value, (list, tuple)):
         return [to_jsonable(v) for v in value]
     if isinstance(value, np.ndarray):
         return [to_jsonable(v) for v in value.tolist()]

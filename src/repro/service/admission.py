@@ -1,0 +1,97 @@
+"""Admission control: bounded queues and load-shedding.
+
+The server's intake is protected the same way the PR-1 guardrails protect
+the policy: a small hysteresis state machine plus a typed event log.
+When the pending-request queue reaches ``max_queue`` the controller trips
+into SATURATED and every new request is *shed* -- answered immediately
+with a degrade-to-daemon decision (the exact fallback the misprediction
+watchdog uses) instead of being queued or dropped.  The controller
+re-admits once the queue drains to ``resume_below``.
+
+Shed is an answer, not a drop: the no-lost-requests invariant ("every
+submitted request is eventually decided") is enforced by tests and the
+``service_load`` saturation scenario.
+
+Events land in the same :class:`~repro.sim.faults.RobustnessLog` the
+guardrails write to (``service.saturated`` / ``service.resumed`` /
+``service.shed``), so one log tells the whole degradation story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.faults import RobustnessLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.telemetry import Telemetry
+
+__all__ = ["AdmissionConfig", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Watermarks of the bounded intake queue."""
+
+    #: queue depth at which the controller trips into SATURATED
+    max_queue: int = 64
+    #: queue depth at which a saturated controller re-admits
+    resume_below: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        if not 0 <= self.resume_below < self.max_queue:
+            raise ValueError("resume_below must be in [0, max_queue)")
+
+
+class AdmissionController:
+    """Hysteresis gate in front of the batching scheduler.
+
+    State machine (mirrors the misprediction watchdog's shape)::
+
+        NORMAL --(queue depth >= max_queue)--> SATURATED
+        SATURATED --(queue depth <= resume_below)--> NORMAL
+
+    The two-watermark gap prevents flapping at the boundary: once
+    overloaded, the server keeps shedding until real headroom exists.
+    """
+
+    def __init__(
+        self,
+        config: AdmissionConfig | None = None,
+        log: RobustnessLog | None = None,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        self.config = config or AdmissionConfig()
+        self.log = log if log is not None else RobustnessLog()
+        self.telemetry = telemetry
+        self.saturated = False
+        self.shed_count = 0
+        self.admitted_count = 0
+
+    def admit(self, queue_depth: int, now: float) -> bool:
+        """Decide one arrival given the current pending-queue depth."""
+        if not self.saturated and queue_depth >= self.config.max_queue:
+            self.saturated = True
+            self.log.record("service.saturated", now, queue_depth=queue_depth)
+            if self.telemetry is not None:
+                self.telemetry.inc(
+                    "merch_service_saturation_transitions_total", to="saturated"
+                )
+        elif self.saturated and queue_depth <= self.config.resume_below:
+            self.saturated = False
+            self.log.record("service.resumed", now, queue_depth=queue_depth)
+            if self.telemetry is not None:
+                self.telemetry.inc(
+                    "merch_service_saturation_transitions_total", to="normal"
+                )
+        if self.saturated:
+            self.shed_count += 1
+            self.log.record("service.shed", now, queue_depth=queue_depth)
+            if self.telemetry is not None:
+                self.telemetry.inc("merch_service_shed_total")
+            return False
+        self.admitted_count += 1
+        return True

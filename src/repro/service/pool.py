@@ -1,0 +1,166 @@
+"""Worker pool driving parallel plan computation.
+
+A thin, mode-switchable executor used in two places:
+
+* the placement server computes independent request batches concurrently
+  (``mode="thread"`` -- planning is numpy-heavy, so threads overlap well
+  enough and share the trained model for free);
+* ``python -m repro.experiments.runner all --jobs N`` fans independent
+  experiments out to processes (``mode="process"`` -- full isolation, one
+  :class:`~repro.experiments.common.ExperimentContext` per worker).
+
+Seeding: stochastic work dispatched to workers must not share one RNG
+stream.  The pool pre-spawns one `SeedSequence`-derived child seed per
+worker via the library's :func:`~repro.common.spawn_rng` discipline, and
+hands it to the ``initializer`` -- the same mechanism the correlation
+trainer uses for its child models, so parallel results stay reproducible
+and statistically independent.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.common import make_rng, spawn_rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.telemetry import Telemetry
+
+__all__ = ["WorkerPool", "JobResult"]
+
+_MODES = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one pooled job: the value, or the captured failure.
+
+    Failure isolation is the pool's contract with the runner: one broken
+    job never takes down its siblings, and the traceback survives the
+    process boundary as text.
+    """
+
+    index: int
+    ok: bool
+    value: object = None
+    error_type: str = ""
+    error: str = ""
+    traceback: str = ""
+
+
+def _guarded(fn: Callable, index: int, args: tuple) -> JobResult:
+    import traceback as _traceback
+
+    try:
+        return JobResult(index=index, ok=True, value=fn(*args))
+    except Exception as exc:
+        return JobResult(
+            index=index,
+            ok=False,
+            error_type=type(exc).__name__,
+            error=str(exc),
+            traceback=_traceback.format_exc(),
+        )
+
+
+class WorkerPool:
+    """Order-preserving map over an executor, with per-job failure capture.
+
+    ``mode="serial"`` runs inline (no executor at all): it is the
+    deterministic baseline the parallel modes are tested against, and the
+    automatic fallback for ``workers <= 1``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        mode: str = "thread",
+        seed=None,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
+        seed_workers: bool = False,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if workers == 1:
+            mode = "serial"
+        self.workers = workers
+        self.mode = mode
+        self.telemetry = telemetry
+        self._initializer = initializer
+        self._initargs = initargs
+        if seed_workers:
+            # one independent child stream per worker, spawned from a single
+            # parent so the set of streams is a pure function of `seed`
+            parent = make_rng(seed)
+            seeds = tuple(
+                int(spawn_rng(parent).integers(0, 2**63 - 1))
+                for _ in range(workers)
+            )
+            self.worker_seeds: tuple[int, ...] = seeds
+        else:
+            self.worker_seeds = ()
+        self._executor: concurrent.futures.Executor | None = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "WorkerPool":
+        if self.mode == "thread":
+            self._executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.workers,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        elif self.mode == "process":
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        elif self._initializer is not None:
+            self._initializer(*self._initargs)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable, items: Iterable[tuple] | Iterable[object]) -> list[JobResult]:
+        """Run ``fn(*item)`` for every item; results in submission order.
+
+        Non-tuple items are treated as single arguments.  Each job's
+        exception (if any) is captured in its :class:`JobResult` rather
+        than raised, so a batch always yields one result per item.
+        """
+        jobs: list[tuple] = [
+            item if isinstance(item, tuple) else (item,) for item in items
+        ]
+        if self.telemetry is not None and jobs:
+            self.telemetry.inc(
+                "merch_service_pool_jobs_total", len(jobs), mode=self.mode
+            )
+        if self.mode == "serial" or self._executor is None:
+            return [_guarded(fn, i, args) for i, args in enumerate(jobs)]
+        futures = [
+            self._executor.submit(_guarded, fn, i, args)
+            for i, args in enumerate(jobs)
+        ]
+        results = [f.result() for f in futures]
+        return sorted(results, key=lambda r: r.index)
+
+    def map_values(self, fn: Callable, items: Iterable) -> list[object]:
+        """Like :meth:`map` but re-raises the first failure (ordered)."""
+        results = self.map(fn, items)
+        for res in results:
+            if not res.ok:
+                raise RuntimeError(
+                    f"pooled job {res.index} failed: {res.error_type}: "
+                    f"{res.error}\n{res.traceback}"
+                )
+        return [res.value for res in results]

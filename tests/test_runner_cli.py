@@ -15,7 +15,7 @@ class TestRegistry:
         for name in ("table1", "table2", "fig3", "fig4", "fig5", "fig6",
                      "fig7", "table3", "table4", "overhead", "ablation",
                      "extensibility", "sensitivity", "robustness",
-                     "recovery", "observability"):
+                     "recovery", "observability", "service_load"):
             assert name in runner.EXPERIMENTS
 
 
@@ -66,6 +66,83 @@ class TestCli:
 
     def test_seed_flag(self, capsys):
         assert runner.main(["table1", "--seed", "3"]) == 0
+
+
+class TestPerExperimentOutputs:
+    def test_suffixed_path(self):
+        assert runner.suffixed_path("out/metrics.prom", "fig4") == "out/metrics-fig4.prom"
+        assert runner.suffixed_path("trace.json", "table1") == "trace-table1.json"
+        assert runner.suffixed_path("bare", "fig3") == "bare-fig3"
+
+    def test_multi_experiment_outputs_one_file_each(self, tmp_path, capsys):
+        """Several experiments must not overwrite one shared metrics/trace
+        file: each gets its own suffixed pair."""
+        from repro.core.telemetry import parse_exposition
+
+        metrics = tmp_path / "metrics.prom"
+        trace = tmp_path / "trace.json"
+        assert runner.main(
+            ["table1", "fig3",
+             "--metrics-out", str(metrics), "--trace-out", str(trace)]
+        ) == 0
+        assert not metrics.exists() and not trace.exists()
+        for name in ("table1", "fig3"):
+            m = tmp_path / f"metrics-{name}.prom"
+            t = tmp_path / f"trace-{name}.json"
+            assert m.exists() and t.exists()
+            parse_exposition(m.read_text())  # raises on malformed output
+            assert "traceEvents" in json.loads(t.read_text())
+
+
+class TestParallelJobs:
+    def test_jobs_json_byte_identical_to_sequential(self, tmp_path, capsys):
+        """--jobs N must not change any result: same bytes on disk."""
+        seq, par = tmp_path / "seq", tmp_path / "par"
+        assert runner.main(["table1", "fig3", "--json", str(seq)]) == 0
+        assert runner.main(
+            ["table1", "fig3", "--jobs", "2", "--json", str(par)]
+        ) == 0
+        for name in ("table1", "fig3"):
+            assert (seq / f"{name}.json").read_bytes() == (
+                par / f"{name}.json"
+            ).read_bytes()
+
+    def test_jobs_replays_experiment_output_in_order(self, capsys):
+        assert runner.main(["table1", "fig3", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Figure 3" in out
+        assert out.index("Table 1") < out.index("Figure 3")  # cheap-first
+
+    def test_jobs_failure_isolation_and_payload(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        # relies on the fork start method propagating the monkeypatch into
+        # pool workers (the default on Linux, where CI runs)
+        def boom(ctx):
+            raise RuntimeError("parallel boom")
+
+        def ok(ctx):
+            return {"fine": True}
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "table1", boom)
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig3", ok)
+        assert runner.main(
+            ["table1", "fig3", "--jobs", "2", "--json", str(tmp_path)]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "table1 FAILED" in captured.out
+        assert "FAILED experiments: table1" in captured.out
+        assert "parallel boom" in captured.err  # traceback crossed the pool
+        broken = json.loads((tmp_path / "table1.json").read_text())
+        healthy = json.loads((tmp_path / "fig3.json").read_text())
+        assert broken["failed"] is True
+        assert broken["error_type"] == "RuntimeError"
+        assert "parallel boom" in broken["traceback"]
+        assert healthy == {"fine": True}
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            runner.main(["table1", "--jobs", "0"])
 
 
 class TestFailureIsolation:
