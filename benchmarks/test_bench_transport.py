@@ -1,0 +1,64 @@
+"""Microbenchmarks for the transport framing codec.
+
+The frame codec sits on every request and every reply, so its cost is
+pure overhead on top of planning.  Three numbers bound it:
+
+* **encode** -- message dict -> canonical JSON -> framed bytes;
+* **decode** -- framed bytes -> validated dict (header checks + CRC32 +
+  JSON parse);
+* **assembler throughput** -- the incremental decoder consuming a
+   64-message stream in socket-sized chunks, the server reader's shape.
+"""
+
+import pytest
+
+from repro.service import PlacementRequest, TaskSpec, encode_request
+from repro.service.transport import FrameAssembler, decode_frame, encode_frame
+
+MB = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def message():
+    tasks = tuple(
+        TaskSpec(
+            task_id=f"t{i}",
+            t_pm_only=30.0 + i,
+            t_dram_only=10.0 + i,
+            total_accesses=1_000_000.0,
+            pmcs={f"e{j}": float(j + 1) for j in range(6)},
+            size_bytes=(4 + i) * MB,
+        )
+        for i in range(8)
+    )
+    return encode_request(
+        PlacementRequest(request_id="bench-0", tenant="bench", tasks=tasks)
+    )
+
+
+@pytest.fixture(scope="module")
+def frame(message):
+    return encode_frame(message)
+
+
+def test_bench_encode_frame(benchmark, message):
+    out = benchmark(encode_frame, message)
+    assert out[:2] == b"MF"
+
+
+def test_bench_decode_frame(benchmark, frame):
+    out = benchmark(decode_frame, frame)
+    assert out["kind"] == "placement_request"
+
+
+def test_bench_assembler_stream(benchmark, frame):
+    stream = frame * 64
+    chunk = 1 << 16
+
+    def consume():
+        asm, n = FrameAssembler(), 0
+        for i in range(0, len(stream), chunk):
+            n += len(asm.feed(stream[i : i + chunk]))
+        return n
+
+    assert benchmark(consume) == 64

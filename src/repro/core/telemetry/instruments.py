@@ -251,6 +251,49 @@ METRIC_SPECS: tuple[MetricSpec, ...] = (
         "DRAM pages granted across all batch decisions "
         "(cached grants included in their batch's ledger).",
     ),
+    # -- network transport ----------------------------------------------
+    MetricSpec(
+        "merch_transport_connections_total", "counter",
+        "TCP connections accepted by the placement transport server.",
+    ),
+    MetricSpec(
+        "merch_transport_active_connections", "gauge",
+        "Currently open transport connections.",
+    ),
+    MetricSpec(
+        "merch_transport_frames_total", "counter",
+        "Frames moved over the wire, by direction (server perspective).",
+        labels=("direction",),  # rx | tx
+    ),
+    MetricSpec(
+        "merch_transport_bytes_total", "counter",
+        "Frame bytes moved over the wire, by direction (server perspective).",
+        labels=("direction",),  # rx | tx
+    ),
+    MetricSpec(
+        "merch_transport_frame_errors_total", "counter",
+        "Frames rejected at decode, by failure kind.",
+        labels=("kind",),  # corrupt | truncated | oversize | protocol
+    ),
+    MetricSpec(
+        "merch_transport_backpressure_pauses_total", "counter",
+        "Reader parks because a connection hit its in-flight window.",
+    ),
+    MetricSpec(
+        "merch_transport_idle_timeouts_total", "counter",
+        "Connections closed for sending no complete frame within the "
+        "idle timeout.",
+    ),
+    MetricSpec(
+        "merch_transport_client_retries_total", "counter",
+        "Client request attempts beyond the first (idempotent "
+        "resubmissions after a transport failure).",
+    ),
+    MetricSpec(
+        "merch_transport_client_fallbacks_total", "counter",
+        "Client requests answered by the local degrade-to-daemon "
+        "fallback after exhausting retries.",
+    ),
 )
 
 

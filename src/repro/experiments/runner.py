@@ -53,6 +53,7 @@ from repro.experiments import (
     table2,
     table3,
     table4,
+    transport_load,
 )
 from repro.experiments.common import ExperimentContext
 
@@ -74,6 +75,7 @@ EXPERIMENTS = {
     "recovery": recovery.run,
     "observability": observability.run,
     "service_load": service_load.run,
+    "transport_load": transport_load.run,
 }
 
 #: cheap-first ordering so failures surface early
@@ -95,6 +97,7 @@ DEFAULT_ORDER = (
     "recovery",
     "observability",
     "service_load",
+    "transport_load",
 )
 
 

@@ -16,7 +16,10 @@ fast-memory budget:
   SeedSequence-spawned per-worker RNG streams;
 * :mod:`repro.service.admission` -- bounded intake queue with
   degrade-to-daemon load shedding;
-* :mod:`repro.service.server`    -- the facade tying it all together.
+* :mod:`repro.service.server`    -- the facade tying it all together;
+* :mod:`repro.service.transport` -- the network face: CRC-framed asyncio
+  TCP server plus a resilient retrying client with degrade-to-daemon
+  fallback.
 
 Everything is dependency-free, clock-injectable and telemetry-optional,
 like the rest of the repo.  ``python -m repro.experiments.runner
@@ -40,6 +43,13 @@ from repro.service.protocol import (
 )
 from repro.service.scheduler import BatchScheduler
 from repro.service.server import PlacementServer, WorkerCrashed
+from repro.service.transport import (
+    FrameError,
+    PlacementClient,
+    PlacementTransportServer,
+    RetryPolicy,
+    TransportError,
+)
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -62,4 +72,9 @@ __all__ = [
     "AdmissionController",
     "PlacementServer",
     "WorkerCrashed",
+    "FrameError",
+    "PlacementTransportServer",
+    "PlacementClient",
+    "RetryPolicy",
+    "TransportError",
 ]

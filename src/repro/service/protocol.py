@@ -32,6 +32,9 @@ __all__ = [
     "decode_request",
     "encode_decision",
     "decode_decision",
+    "encode_error",
+    "decode_error",
+    "daemon_decision",
     "to_json",
     "from_json",
 ]
@@ -267,6 +270,42 @@ def decode_decision(payload: Mapping) -> PlacementDecision:
         )
     except (KeyError, TypeError) as exc:
         raise ProtocolError(f"malformed placement_decision: {exc!r}") from exc
+
+
+def encode_error(error: str, request_id: str | None = None) -> dict:
+    """Typed error envelope the transport sends for a rejected message
+    (protocol version mismatch, malformed request, ...)."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "kind": "error",
+        "request_id": request_id,
+        "error": str(error),
+    }
+
+
+def decode_error(payload: Mapping) -> tuple[str, str | None]:
+    """(error text, request id or None) of an error envelope."""
+    _check_envelope(payload, "error")
+    try:
+        return str(payload["error"]), payload.get("request_id")
+    except KeyError as exc:
+        raise ProtocolError(f"malformed error envelope: {exc!r}") from exc
+
+
+def daemon_decision(request: PlacementRequest) -> PlacementDecision:
+    """The degrade-to-daemon answer for ``request``: no quotas, fall back
+    to the ungated hot-page daemon (the PR-1 misprediction watchdog's
+    degraded mode).  Shared by admission shedding, exhausted batch-crash
+    retries, and the transport client's unreachable-server fallback."""
+    return PlacementDecision(
+        request_id=request.request_id,
+        status="shed",
+        policy="daemon",
+        placements=(),
+        predicted_makespan_s=max(t.t_pm_only for t in request.tasks),
+        dram_pages_granted=0,
+        batch_size=1,
+    )
 
 
 def to_json(message: dict) -> str:

@@ -35,7 +35,11 @@ from repro.sim.faults import RobustnessLog
 from repro.service.admission import AdmissionConfig, AdmissionController
 from repro.service.cache import PredictionCache
 from repro.service.pool import WorkerPool
-from repro.service.protocol import PlacementDecision, PlacementRequest
+from repro.service.protocol import (
+    PlacementDecision,
+    PlacementRequest,
+    daemon_decision,
+)
 from repro.service.scheduler import BatchScheduler, PendingRequest
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -266,15 +270,7 @@ class PlacementServer:
     def _daemon_decision(self, request: PlacementRequest) -> PlacementDecision:
         """The shed answer: no quotas, fall back to the hot-page daemon
         (exactly the degraded mode of the PR-1 misprediction watchdog)."""
-        return PlacementDecision(
-            request_id=request.request_id,
-            status="shed",
-            policy="daemon",
-            placements=(),
-            predicted_makespan_s=max(t.t_pm_only for t in request.tasks),
-            dram_pages_granted=0,
-            batch_size=1,
-        )
+        return daemon_decision(request)
 
     def _finish(self, decisions: list[PlacementDecision], now: float) -> None:
         self.decided += len(decisions)

@@ -1,0 +1,48 @@
+"""Network transport for the placement service.
+
+* :mod:`repro.service.transport.framing`   -- length-prefixed JSON frames
+  with a CRC32 trailer and a max-frame guard;
+* :mod:`repro.service.transport.netserver` -- asyncio TCP server feeding
+  :class:`~repro.service.server.PlacementServer` (backpressure, idle
+  timeouts, idempotent resubmission, wire fault injection);
+* :mod:`repro.service.transport.client`    -- blocking client with
+  timeouts, capped-exponential-backoff retries, and degrade-to-daemon
+  fallback.
+
+``python -m repro.experiments.runner transport_load`` soaks the whole
+stack over loopback with wire faults enabled.
+"""
+
+from repro.service.transport.client import (
+    PlacementClient,
+    RetryPolicy,
+    TransportError,
+)
+from repro.service.transport.framing import (
+    DEFAULT_MAX_FRAME,
+    FRAME_VERSION,
+    FrameAssembler,
+    FrameCorrupt,
+    FrameError,
+    FrameTooLarge,
+    FrameTruncated,
+    decode_frame,
+    encode_frame,
+)
+from repro.service.transport.netserver import PlacementTransportServer
+
+__all__ = [
+    "FRAME_VERSION",
+    "DEFAULT_MAX_FRAME",
+    "FrameError",
+    "FrameCorrupt",
+    "FrameTruncated",
+    "FrameTooLarge",
+    "encode_frame",
+    "decode_frame",
+    "FrameAssembler",
+    "PlacementTransportServer",
+    "PlacementClient",
+    "RetryPolicy",
+    "TransportError",
+]

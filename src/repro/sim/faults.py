@@ -170,6 +170,19 @@ class FaultConfig:
     #: misreport magnitude (reported = true * factor or true / factor)
     object_size_error_factor: float = 8.0
 
+    # -- wire (network transport) faults -------------------------------
+    #: per-reply probability the frame is torn mid-payload and the
+    #: connection dropped (a torn write: the client sees a truncated frame)
+    wire_torn_frame_rate: float = 0.0
+    #: per-reply probability the CRC32 trailer is corrupted in flight
+    wire_corrupt_rate: float = 0.0
+    #: per-reply probability the peer stalls before replying
+    wire_stall_rate: float = 0.0
+    #: length of one injected stall in wall seconds
+    wire_stall_s: float = 0.05
+    #: per-reply probability the connection dies before any reply bytes
+    wire_disconnect_rate: float = 0.0
+
     # -- crash/kill faults ---------------------------------------------
     #: kill the control plane at the Nth occurrence (1-based) of
     #: ``crash_point``; ``None`` disables crashing.  Unlike the rate-based
@@ -203,6 +216,10 @@ class FaultConfig:
                 "pm_bw_degradation_rate",
                 "dram_pressure_rate",
                 "object_size_error_rate",
+                "wire_torn_frame_rate",
+                "wire_corrupt_rate",
+                "wire_stall_rate",
+                "wire_disconnect_rate",
             )
         )
 
@@ -222,6 +239,10 @@ class FaultConfig:
                 "pm_bw_degradation_rate",
                 "dram_pressure_rate",
                 "object_size_error_rate",
+                "wire_torn_frame_rate",
+                "wire_corrupt_rate",
+                "wire_stall_rate",
+                "wire_disconnect_rate",
             )
         }
         return replace(self, **rates)
@@ -382,6 +403,35 @@ class FaultInjector:
             pages_applied=applied.n_pages if applied else 0,
         )
         return applied, failed
+
+    # ------------------------------------------------------------------
+    # wire (network transport) faults
+    # ------------------------------------------------------------------
+    def wire_fault(self, now: float) -> str | None:
+        """Draw the fate of one outgoing transport reply.
+
+        Returns one of ``"torn_frame"`` (frame cut mid-payload, connection
+        dropped), ``"corrupt_crc"`` (CRC32 trailer flipped in flight),
+        ``"stall"`` (reply delayed by ``wire_stall_s``), ``"disconnect"``
+        (connection dies before any reply bytes), or ``None`` (healthy).
+        At most one fault fires per reply; the draw order is fixed so a
+        seeded stream stays reproducible.
+        """
+        if self._fire(self.config.wire_torn_frame_rate, now):
+            self.log.record("fault.wire_torn_frame", now)
+            return "torn_frame"
+        if self._fire(self.config.wire_corrupt_rate, now):
+            self.log.record("fault.wire_corrupt_crc", now)
+            return "corrupt_crc"
+        if self._fire(self.config.wire_stall_rate, now):
+            self.log.record(
+                "fault.wire_stall", now, stall_s=self.config.wire_stall_s
+            )
+            return "stall"
+        if self._fire(self.config.wire_disconnect_rate, now):
+            self.log.record("fault.wire_disconnect", now)
+            return "disconnect"
+        return None
 
     # ------------------------------------------------------------------
     # crash/kill faults

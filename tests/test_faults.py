@@ -199,6 +199,58 @@ class TestAPIFaults:
         assert inj.corrupt_object_sizes({"a": 123}, 1.0) == {"a": 123}
 
 
+class TestWireFaults:
+    def test_each_kind_fires_and_logs(self):
+        cases = (
+            ("wire_torn_frame_rate", "torn_frame", "fault.wire_torn_frame"),
+            ("wire_corrupt_rate", "corrupt_crc", "fault.wire_corrupt_crc"),
+            ("wire_stall_rate", "stall", "fault.wire_stall"),
+            ("wire_disconnect_rate", "disconnect", "fault.wire_disconnect"),
+        )
+        for rate_name, action, event in cases:
+            inj = injector(**{rate_name: 1.0})
+            assert inj.wire_fault(1.0) == action
+            assert inj.log.count(event) == 1
+
+    def test_at_most_one_fault_per_reply(self):
+        # every rate maxed: the draw order is fixed, one action comes back
+        inj = injector(
+            wire_torn_frame_rate=1.0,
+            wire_corrupt_rate=1.0,
+            wire_stall_rate=1.0,
+            wire_disconnect_rate=1.0,
+        )
+        assert inj.wire_fault(0.0) == "torn_frame"
+        assert sum(inj.log.counters.values()) == 1
+
+    def test_stall_event_carries_duration(self):
+        inj = injector(wire_stall_rate=1.0, wire_stall_s=0.25)
+        assert inj.wire_fault(3.0) == "stall"
+        assert inj.log.events[-1].detail["stall_s"] == pytest.approx(0.25)
+
+    def test_healthy_passthrough(self):
+        inj = injector()
+        assert inj.wire_fault(0.0) is None
+        assert inj.log.events == []
+
+    def test_deterministic_per_seed(self):
+        def trace(seed):
+            inj = FaultInjector(
+                FaultConfig(wire_torn_frame_rate=0.3, wire_disconnect_rate=0.3),
+                seed=seed,
+            )
+            return [inj.wire_fault(float(t)) for t in range(60)]
+
+        assert trace(5) == trace(5)
+        assert trace(5) != trace(6)
+
+    def test_config_plumbing(self):
+        assert FaultConfig(wire_corrupt_rate=0.1).any_enabled
+        scaled = FaultConfig(wire_stall_rate=0.4).scaled(2.0)
+        assert scaled.wire_stall_rate == pytest.approx(0.8)
+        assert not FaultConfig(wire_torn_frame_rate=0.2).scaled(0.0).any_enabled
+
+
 class TestActivityWindow:
     def test_faults_only_inside_window(self):
         cfg = FaultConfig(pebs_drop_rate=1.0, start_s=10.0, end_s=20.0)

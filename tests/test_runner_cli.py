@@ -15,7 +15,8 @@ class TestRegistry:
         for name in ("table1", "table2", "fig3", "fig4", "fig5", "fig6",
                      "fig7", "table3", "table4", "overhead", "ablation",
                      "extensibility", "sensitivity", "robustness",
-                     "recovery", "observability", "service_load"):
+                     "recovery", "observability", "service_load",
+                     "transport_load"):
             assert name in runner.EXPERIMENTS
 
 
@@ -73,6 +74,47 @@ class TestPerExperimentOutputs:
         assert runner.suffixed_path("out/metrics.prom", "fig4") == "out/metrics-fig4.prom"
         assert runner.suffixed_path("trace.json", "table1") == "trace-table1.json"
         assert runner.suffixed_path("bare", "fig3") == "bare-fig3"
+
+    def test_single_experiment_honors_exact_paths(self, tmp_path, capsys):
+        """One experiment, one file: ``--metrics-out``/``--trace-out`` are
+        used verbatim, never suffixed."""
+        from repro.core.telemetry import parse_exposition
+
+        metrics = tmp_path / "metrics.prom"
+        trace = tmp_path / "trace.json"
+        assert runner.main(
+            ["table1", "--metrics-out", str(metrics), "--trace-out", str(trace)]
+        ) == 0
+        assert metrics.exists() and trace.exists()
+        assert not (tmp_path / "metrics-table1.prom").exists()
+        assert not (tmp_path / "trace-table1.json").exists()
+        parse_exposition(metrics.read_text())
+        assert "traceEvents" in json.loads(trace.read_text())
+
+    def test_single_experiment_honors_exact_paths_parallel(
+        self, tmp_path, capsys
+    ):
+        """The ``--jobs`` path must pin the same exact-filename contract."""
+        metrics = tmp_path / "metrics.prom"
+        trace = tmp_path / "trace.json"
+        assert runner.main(
+            ["table1", "--jobs", "2",
+             "--metrics-out", str(metrics), "--trace-out", str(trace)]
+        ) == 0
+        assert metrics.exists() and trace.exists()
+        assert not (tmp_path / "metrics-table1.prom").exists()
+        assert not (tmp_path / "trace-table1.json").exists()
+
+    def test_multi_experiment_suffixes_in_parallel_runs(
+        self, tmp_path, capsys
+    ):
+        metrics = tmp_path / "metrics.prom"
+        assert runner.main(
+            ["table1", "fig3", "--jobs", "2", "--metrics-out", str(metrics)]
+        ) == 0
+        assert not metrics.exists()
+        assert (tmp_path / "metrics-table1.prom").exists()
+        assert (tmp_path / "metrics-fig3.prom").exists()
 
     def test_multi_experiment_outputs_one_file_each(self, tmp_path, capsys):
         """Several experiments must not overwrite one shared metrics/trace

@@ -212,6 +212,30 @@ class TestBatching:
         decisions = server.flush(now=0.0)
         assert [d.status for d in decisions] == ["planned", "planned"]
 
+    def test_identical_fingerprints_same_window_across_tenants(self):
+        # boundary: two tenants, bit-identical region fingerprints, ONE
+        # batching window -- dedup must stay per-tenant (each gets its own
+        # planned quota) while the shared budget is conserved across both
+        server, clock, _ = make_server(window_s=0.005, max_batch=32)
+        a = make_request("ra", tenant="one", shape=3)
+        b = make_request("rb", tenant="two", shape=3)
+        assert a.region_fingerprint == b.region_fingerprint
+        server.submit(a, now=0.0)
+        server.submit(b, now=0.0)
+        decisions = {d.request_id: d for d in server.pump(now=0.005)}
+        assert [decisions[r].status for r in ("ra", "rb")] == [
+            "planned",
+            "planned",
+        ]
+        # same question, same batch: the arbiter must answer identically
+        assert decisions["ra"].placements == decisions["rb"].placements
+        capacity_pages = (64 * MB) // PAGE_SIZE
+        assert (
+            decisions["ra"].dram_pages_granted
+            + decisions["rb"].dram_pages_granted
+            <= capacity_pages
+        )
+
     def test_batched_planning_is_deterministic(self):
         def drive():
             server, clock, _ = make_server(window_s=0.01, max_batch=8)
@@ -254,6 +278,31 @@ class TestPredictionCache:
         clock.now = 9.999
         assert cache.get("k") == "v"
         clock.now = 10.0
+        assert cache.get("k") is None
+        assert cache.evictions["ttl"] == 1
+
+    def test_ttl_expiry_exactly_at_nonzero_put_time(self):
+        # boundary: expiry is exactly put_time + ttl on a clock that did
+        # not start at zero (the live >= expires_at edge, not a window)
+        clock = _VClock()
+        clock.now = 7.25
+        cache = PredictionCache(capacity=8, ttl_s=10.0, clock=clock)
+        cache.put("k", "v")
+        clock.now = 17.249999
+        assert cache.get("k") == "v"
+        clock.now = 17.25
+        assert cache.get("k") is None
+        assert cache.evictions["ttl"] == 1
+
+    def test_ttl_refreshed_by_re_put(self):
+        clock = _VClock()
+        cache = PredictionCache(capacity=8, ttl_s=10.0, clock=clock)
+        cache.put("k", "v1")
+        clock.now = 9.0
+        cache.put("k", "v2")  # re-put restamps the deadline to 19.0
+        clock.now = 10.0
+        assert cache.get("k") == "v2"  # would have expired without re-put
+        clock.now = 19.0
         assert cache.get("k") is None
         assert cache.evictions["ttl"] == 1
 
@@ -337,6 +386,18 @@ class TestServerCache:
         second = server.request(make_request("r2", shape=1), now=1.0)
         assert first.status == "planned" and second.status == "cached"
         assert corr.calls == calls  # no model work for the hit
+        assert second.placements == first.placements
+
+    def test_cache_shared_across_tenants_in_later_windows(self):
+        # the cache key is tenant-free (unlike the dedup key): tenant two
+        # asking the identical shape in a LATER window reuses tenant
+        # one's decision instead of re-planning
+        cache = PredictionCache(capacity=32)
+        server, clock, corr = make_server(window_s=0.0, cache=cache)
+        first = server.request(make_request("r1", tenant="one", shape=1), now=0.0)
+        calls = corr.calls
+        second = server.request(make_request("r2", tenant="two", shape=1), now=1.0)
+        assert second.status == "cached" and corr.calls == calls
         assert second.placements == first.placements
 
     def test_alpha_refinement_invalidates_region(self):

@@ -1,0 +1,203 @@
+"""Property-based tests for the wire protocol + framing layer.
+
+Three hard properties, each over >= 100 generated cases:
+
+* **round-trip** -- any valid request/decision survives
+  dict -> canonical JSON -> frame -> bytes -> frame -> JSON -> dict
+  *bit-identically* (the re-encoded frame equals the original frame,
+  byte for byte) and decodes back to an equal dataclass;
+* **mutation** -- XOR-ing any single byte of a frame with any non-zero
+  mask always raises a typed :class:`FrameError` (CRC32 catches every
+  single-byte error; the header fields are each validated), never a
+  silent wrong decode;
+* **truncation** -- every strict prefix of a frame raises
+  :class:`FrameTruncated`.
+
+Cases are generated from a seeded RNG; when ``hypothesis`` is installed
+it drives (and shrinks) the seed space, otherwise a plain 100-seed
+parametrization keeps the properties exercised with no extra dependency.
+"""
+
+import pytest
+
+from repro.common import make_rng
+from repro.service.protocol import (
+    DECISION_STATUSES,
+    PlacementDecision,
+    PlacementRequest,
+    TaskPlacement,
+    TaskSpec,
+    decode_decision,
+    decode_request,
+    encode_decision,
+    encode_request,
+    to_json,
+)
+from repro.service.transport.framing import (
+    FrameAssembler,
+    FrameError,
+    FrameTruncated,
+    decode_frame,
+    encode_frame,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    def each_seed(test):
+        """>= 100 hypothesis-driven seeds (shrinkable on failure)."""
+        return settings(max_examples=100, deadline=None)(
+            given(seed=st.integers(min_value=0, max_value=2**32 - 1))(test)
+        )
+
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+
+    def each_seed(test):
+        """Fallback: a fixed 100-seed sweep, no dependency needed."""
+        return pytest.mark.parametrize("seed", range(100))(test)
+
+
+# ----------------------------------------------------------------------
+# seeded generators (shared by both drivers)
+# ----------------------------------------------------------------------
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789-_/.:"
+
+
+def gen_text(rng, prefix=""):
+    n = int(rng.integers(1, 16))
+    picks = rng.integers(0, len(_ALPHABET), n)
+    return prefix + "".join(_ALPHABET[int(i)] for i in picks)
+
+
+def gen_pos_float(rng):
+    """Positive finite floats across ~13 decades (exercises repr/JSON)."""
+    return float(rng.uniform(0.1, 10.0)) * 10.0 ** int(rng.integers(-6, 7))
+
+
+def gen_task(rng, i):
+    pmcs = {
+        gen_text(rng, prefix=f"pmc{j}-"): gen_pos_float(rng)
+        for j in range(int(rng.integers(0, 4)))
+    }
+    return TaskSpec(
+        task_id=gen_text(rng, prefix=f"task{i}-"),
+        t_pm_only=gen_pos_float(rng),
+        t_dram_only=gen_pos_float(rng),
+        total_accesses=gen_pos_float(rng),
+        pmcs=pmcs,
+        size_bytes=int(rng.integers(1, 1 << 40)),
+    )
+
+
+def gen_request(rng):
+    tasks = tuple(gen_task(rng, i) for i in range(int(rng.integers(1, 6))))
+    return PlacementRequest(
+        request_id=gen_text(rng, prefix="req-"),
+        tenant=gen_text(rng, prefix="tenant-"),
+        tasks=tasks,
+        # half derived fingerprints, half caller-stable ones
+        region_fingerprint=gen_text(rng) if rng.random() < 0.5 else "",
+        arrival_s=gen_pos_float(rng),
+    )
+
+
+def gen_decision(rng):
+    placements = tuple(
+        TaskPlacement(
+            task_id=gen_text(rng, prefix=f"task{i}-"),
+            r_dram=float(rng.uniform(0.0, 1.0)),
+            dram_pages=int(rng.integers(0, 1 << 24)),
+            predicted_time_s=gen_pos_float(rng),
+        )
+        for i in range(int(rng.integers(0, 6)))
+    )
+    return PlacementDecision(
+        request_id=gen_text(rng, prefix="req-"),
+        status=DECISION_STATUSES[int(rng.integers(len(DECISION_STATUSES)))],
+        policy="merchandiser" if rng.random() < 0.5 else "daemon",
+        placements=placements,
+        predicted_makespan_s=gen_pos_float(rng),
+        dram_pages_granted=int(rng.integers(0, 1 << 30)),
+        batch_size=int(rng.integers(1, 64)),
+        latency_s=gen_pos_float(rng),
+    )
+
+
+# ----------------------------------------------------------------------
+# property 1: bit-identical round-trips
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @each_seed
+    def test_request_round_trips_bit_identically(self, seed):
+        req = gen_request(make_rng(seed))
+        frame = encode_frame(encode_request(req))
+        back = decode_request(decode_frame(frame))
+        assert back == req
+        # canonical JSON + deterministic framing: re-encoding is exact
+        assert encode_frame(encode_request(back)) == frame
+        assert to_json(encode_request(back)) == to_json(encode_request(req))
+
+    @each_seed
+    def test_decision_round_trips_bit_identically(self, seed):
+        dec = gen_decision(make_rng(seed))
+        frame = encode_frame(encode_decision(dec))
+        back = decode_decision(decode_frame(frame))
+        assert back == dec
+        assert encode_frame(encode_decision(back)) == frame
+
+    @each_seed
+    def test_assembler_agrees_with_one_shot_decode(self, seed):
+        rng = make_rng(seed)
+        messages = [encode_request(gen_request(rng)) for _ in range(3)]
+        stream = b"".join(encode_frame(m) for m in messages)
+        # random chunking must not change what comes out
+        cuts = sorted(
+            int(c) for c in rng.integers(0, len(stream), int(rng.integers(0, 8)))
+        )
+        asm, out, prev = FrameAssembler(), [], 0
+        for cut in cuts + [len(stream)]:
+            out.extend(asm.feed(stream[prev:cut]))
+            prev = cut
+        asm.close()
+        assert out == messages
+
+
+# ----------------------------------------------------------------------
+# property 2: any single-byte mutation raises a typed error
+# ----------------------------------------------------------------------
+class TestMutation:
+    @each_seed
+    def test_single_byte_xor_never_decodes(self, seed):
+        rng = make_rng(seed)
+        frame = bytearray(encode_frame(encode_request(gen_request(rng))))
+        pos = int(rng.integers(len(frame)))
+        mask = int(rng.integers(1, 256))  # non-zero: always a real change
+        frame[pos] ^= mask
+        with pytest.raises(FrameError):
+            decode_frame(bytes(frame))
+
+    @each_seed
+    def test_single_byte_xor_poisons_the_assembler(self, seed):
+        rng = make_rng(seed)
+        frame = bytearray(encode_frame(encode_decision(gen_decision(rng))))
+        frame[int(rng.integers(len(frame)))] ^= int(rng.integers(1, 256))
+        asm = FrameAssembler()
+        with pytest.raises(FrameError):
+            # a mutation that enlarges the declared length defers the
+            # failure to close() (the stream ends mid-"frame")
+            asm.feed(bytes(frame))
+            asm.close()
+
+
+# ----------------------------------------------------------------------
+# property 3: every strict prefix raises FrameTruncated
+# ----------------------------------------------------------------------
+class TestTruncation:
+    @each_seed
+    def test_strict_prefix_always_truncated(self, seed):
+        rng = make_rng(seed)
+        frame = encode_frame(encode_request(gen_request(rng)))
+        cut = int(rng.integers(len(frame)))  # 0 .. len-1: strictly short
+        with pytest.raises(FrameTruncated):
+            decode_frame(frame[:cut])
