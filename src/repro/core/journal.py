@@ -199,16 +199,46 @@ class WriteAheadLog:
         Returns ``(records, torn_tail_found)`` and resets the internal LSN
         and epoch counters, so the reopened journal keeps appending where
         the crashed incarnation left off.
+
+        Beyond per-record CRCs, the LSN sequence itself is validated --
+        the adversarial tails a replicated journal can accumulate:
+
+        * an **exact duplicate** of the previous entry (an idempotent
+          retransmission that slipped past the acked-LSN floor) is
+          dropped and replay continues;
+        * an **LSN regression** with different content (two writers
+          interleaved into one journal, or an append racing a truncate)
+          is indistinguishable from corruption past that point, so the
+          log is truncated there exactly like a torn tail.
         """
         records: list[WalRecord] = []
+        kept: list[str] = []
         torn = False
-        for i, entry in enumerate(self.entries):
+        for entry in self.entries:
             record = _decode(entry)
             if record is None:
                 torn = True
-                del self.entries[i:]
                 break
+            if records:
+                last = records[-1]
+                if record.lsn == last.lsn and entry == kept[-1]:
+                    self.log.record(
+                        "journal.duplicate_dropped", 0.0, lsn=record.lsn
+                    )
+                    continue
+                if record.lsn <= last.lsn:
+                    self.log.record(
+                        "journal.lsn_regression",
+                        0.0,
+                        expected=last.lsn + 1,
+                        got=record.lsn,
+                        entries_kept=len(kept),
+                    )
+                    torn = True
+                    break
             records.append(record)
+            kept.append(entry)
+        self.entries[:] = kept
         self._next_lsn = records[-1].lsn + 1 if records else 0
         begins = [r.epoch for r in records if r.kind == "epoch_begin"]
         self._next_epoch = max(begins) + 1 if begins else 0

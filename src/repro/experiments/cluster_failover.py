@@ -1,0 +1,395 @@
+"""Cluster failover chaos soak (our extension; see DESIGN.md Section 11).
+
+The sharded control plane (:mod:`repro.service.cluster`) claims that a
+placement shard can be killed at any protocol step -- mid-epoch,
+post-commit, mid-lease-renewal -- while the router keeps every guarantee:
+
+* **zero lost decisions** -- every submitted request id is answered
+  exactly once, across kills, promotions and retries;
+* **zero duplicated grants** -- no request id is ever delivered two
+  decisions (let alone two *different* ones);
+* **quota never over-committed** -- at every tick,
+  ``sum(live shard leases) <= global quota``, partitions and expired
+  leases included;
+* **warm, bit-exact failover** -- every decision the promoted follower
+  reconstructs from the replicated journal is byte-identical to the one
+  the dead primary delivered.
+
+The soak runs N seeded kill schedules over a 3-shard (``--full``:
+5-shard) virtual-clock cluster.  Each schedule kills one or two shards at
+a drawn crash point and, independently, may inject router/coordinator
+partitions, replication-stream truncation and lease-renewal message loss
+-- every cluster fault model in :mod:`repro.sim.faults`.  Any violated
+invariant raises, so the runner exits non-zero and the CI smoke fails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import PAGE_SIZE
+from repro.experiments.common import ExperimentContext, format_table
+from repro.service import PlacementRequest, PlacementServer
+from repro.service.cluster import ClusterRouter, PlacementShard, QuotaCoordinator
+from repro.service.protocol import encode_decision
+from repro.sim import FaultConfig, FaultInjector
+from repro.experiments.service_load import TENANTS, _region_catalogue
+
+#: shard kill points, biased toward the epoch protocol's windows
+KILL_POINTS = ("shard_pump", "shard_mid_epoch", "shard_post_commit", "shard_lease_renew")
+KILL_WEIGHTS = (0.25, 0.3, 0.3, 0.15)
+
+#: every K-th schedule kills a second shard too
+DOUBLE_KILL_EVERY = 5
+
+#: virtual-clock shape of one schedule
+TICK_S = 0.02
+N_TICKS = 40
+ARRIVALS_PER_TICK = 2
+DRAIN_TICKS = 60
+
+#: lease protocol constants (short TTL so expiry races actually happen
+#: inside a <1s virtual run)
+LEASE_TTL_S = 0.2
+GLOBAL_QUOTA_PAGES = 1024
+BASE_DEMAND_PAGES = 512  # 3+ shards x 512 > 1024: shards must contend
+
+
+def _cluster_faults(rng: np.random.Generator) -> FaultConfig | None:
+    """Draw this schedule's environment faults (router-level injector)."""
+    partition = rng.random() < 0.4
+    truncate = rng.random() < 0.4
+    renewal_drop = rng.random() < 0.4
+    if not (partition or truncate or renewal_drop):
+        return None
+    return FaultConfig(
+        partition_rate=0.15 if partition else 0.0,
+        partition_duration_s=0.25,  # > LEASE_TTL_S: forces expiry races
+        replication_truncate_rate=0.3 if truncate else 0.0,
+        replication_truncate_fraction=0.5,
+        lease_renewal_drop_rate=0.5 if renewal_drop else 0.0,
+    )
+
+
+def run(ctx: ExperimentContext) -> dict[str, object]:
+    n_schedules = 50 if ctx.fast else 200
+    n_shards = 3 if ctx.fast else 5
+    catalogue = _region_catalogue(ctx, n_shapes=4, tasks_per_shape=3)
+    model = ctx.system.performance_model
+
+    schedules: list[dict[str, object]] = []
+    totals = {
+        "kills": 0,
+        "promotions": 0,
+        "replayed_decisions": 0,
+        "idempotent_replays": 0,
+        "failover_retries": 0,
+        "lease_expiries": 0,
+        "lease_rejections": 0,
+        "replication_lost": 0,
+        "zero_capacity_pumps": 0,
+        "bitexact_checked": 0,
+    }
+    kills_by_point: dict[str, int] = {}
+    violations: list[str] = []
+
+    for i in range(n_schedules):
+        rng = np.random.default_rng([ctx.seed, 1000 + i])
+
+        # -- this schedule's kill plan + environment faults ------------
+        n_kills = 2 if (i + 1) % DOUBLE_KILL_EVERY == 0 else 1
+        victims = rng.choice(n_shards, size=n_kills, replace=False)
+        kill_injectors: dict[str, FaultInjector] = {}
+        points: list[str] = []
+        for v in victims:
+            point = str(rng.choice(KILL_POINTS, p=KILL_WEIGHTS))
+            points.append(point)
+            kill_injectors[f"shard-{int(v)}"] = FaultInjector(
+                FaultConfig(
+                    crash_at=int(rng.integers(1, 6)), crash_point=point
+                ),
+                seed=int(rng.integers(0, 2**31)),
+            )
+        env_cfg = _cluster_faults(rng)
+        env_faults = (
+            FaultInjector(env_cfg, seed=int(rng.integers(0, 2**31)))
+            if env_cfg is not None
+            else None
+        )
+
+        # -- build the cluster -----------------------------------------
+        coordinator = QuotaCoordinator(
+            GLOBAL_QUOTA_PAGES, ttl_s=LEASE_TTL_S, telemetry=ctx.telemetry
+        )
+
+        def factory(shard_id, journal, _kills=kill_injectors):
+            server = PlacementServer(
+                model,
+                dram_capacity_bytes=GLOBAL_QUOTA_PAGES * PAGE_SIZE,
+                window_s=TICK_S,
+                max_batch=16,
+                telemetry=ctx.telemetry,
+            )
+            return PlacementShard(
+                shard_id,
+                server,
+                coordinator,
+                journal,
+                # a promoted replacement never inherits its predecessor's
+                # kill injector (pop): the kill models a process death
+                faults=_kills.pop(shard_id, env_faults),
+                telemetry=ctx.telemetry,
+                checkpoint_every=4,
+                base_demand_pages=BASE_DEMAND_PAGES,
+            )
+
+        router = ClusterRouter(
+            coordinator,
+            factory,
+            heartbeat_interval_s=TICK_S,
+            heartbeat_miss_threshold=2,
+            faults=env_faults,
+            telemetry=ctx.telemetry,
+        )
+        for s in range(n_shards):
+            router.add_shard(f"shard-{s}", now=0.0)
+
+        # -- drive the schedule ----------------------------------------
+        submitted: dict[str, PlacementRequest] = {}
+        delivered: dict[str, list[dict]] = {}
+        max_granted = 0
+        quota_breaches = 0
+
+        def deliver(decisions):
+            for d in decisions:
+                delivered.setdefault(d.request_id, []).append(
+                    encode_decision(d)
+                )
+
+        now, seq = 0.0, 0
+        for tick in range(N_TICKS):
+            now = tick * TICK_S
+            for _ in range(ARRIVALS_PER_TICK):
+                request = PlacementRequest(
+                    request_id=f"s{i}-r{seq:04d}",
+                    tenant=str(rng.choice(TENANTS)),
+                    tasks=catalogue[int(rng.integers(len(catalogue)))],
+                )
+                seq += 1
+                submitted[request.request_id] = request
+                decision = router.submit(request, now)
+                if decision is not None:
+                    deliver([decision])
+            deliver(router.tick(now))
+            granted = coordinator.granted_pages(now)
+            max_granted = max(max_granted, granted)
+            if granted > GLOBAL_QUOTA_PAGES:
+                quota_breaches += 1
+
+        # -- drain: flush the queues, ride out pending promotions ------
+        for extra in range(DRAIN_TICKS):
+            now += TICK_S
+            deliver(router.tick(now, flush=True))
+            granted = coordinator.granted_pages(now)
+            max_granted = max(max_granted, granted)
+            if granted > GLOBAL_QUOTA_PAGES:
+                quota_breaches += 1
+            if router.inflight_count() == 0:
+                break
+
+        # -- bit-exact failover check ----------------------------------
+        # every decision a promoted shard reconstructed from the journal
+        # must match the one the dead primary delivered, byte for byte
+        bitexact_checked = 0
+        bitexact_mismatches = 0
+        for shard in router.shards.values():
+            for rid, decision in shard.decided_record().items():
+                past = delivered.get(rid)
+                if not past:
+                    continue
+                bitexact_checked += 1
+                if encode_decision(decision) != past[-1]:
+                    bitexact_mismatches += 1
+
+        # -- invariants ------------------------------------------------
+        unanswered = [rid for rid in submitted if rid not in delivered]
+        duplicates = {
+            rid: payloads
+            for rid, payloads in delivered.items()
+            if len(payloads) > 1
+        }
+        conflicts = {
+            rid: payloads
+            for rid, payloads in duplicates.items()
+            if any(p != payloads[0] for p in payloads[1:])
+        }
+        # the dead instance is replaced at promotion, so the router's
+        # crash log is the authoritative count of fired kills
+        kills = router.log.count("cluster.shard_crashed")
+
+        if unanswered:
+            violations.append(
+                f"schedule {i}: {len(unanswered)} lost decisions "
+                f"(e.g. {unanswered[:3]})"
+            )
+        if duplicates:
+            violations.append(
+                f"schedule {i}: {len(duplicates)} request ids answered "
+                f"more than once ({len(conflicts)} with conflicting grants)"
+            )
+        if quota_breaches:
+            violations.append(
+                f"schedule {i}: quota over-committed on {quota_breaches} ticks"
+            )
+        if bitexact_mismatches:
+            violations.append(
+                f"schedule {i}: {bitexact_mismatches} replayed decisions "
+                f"differ from what the dead primary delivered"
+            )
+        if router.inflight_count():
+            violations.append(
+                f"schedule {i}: {router.inflight_count()} requests still "
+                f"in flight after the drain"
+            )
+
+        fired_points = [
+            e.detail.get("point", "?")
+            for e in router.log.events
+            if e.kind == "cluster.shard_crashed"
+        ]
+        for p in fired_points:
+            kills_by_point[p] = kills_by_point.get(p, 0) + 1
+
+        shard_stats = [s.stats for s in router.shards.values()]
+        totals["kills"] += kills
+        totals["promotions"] += router.stats["promotions"]
+        totals["replayed_decisions"] += router.stats["replayed_decisions"]
+        totals["failover_retries"] += router.stats["failover_retries"]
+        totals["idempotent_replays"] += sum(
+            s["idempotent_replays"] for s in shard_stats
+        )
+        totals["zero_capacity_pumps"] += sum(
+            s["zero_capacity_pumps"] for s in shard_stats
+        )
+        totals["lease_expiries"] += coordinator.stats["expired"]
+        totals["lease_rejections"] += coordinator.stats["rejected"]
+        totals["replication_lost"] += sum(
+            s.replication.stats["lost"] for s in router.shards.values()
+        )
+        totals["bitexact_checked"] += bitexact_checked
+
+        schedules.append(
+            {
+                "schedule": i,
+                "kill_points": fired_points,
+                "env_faults": {
+                    "partition": bool(env_cfg and env_cfg.partition_rate),
+                    "replication_truncate": bool(
+                        env_cfg and env_cfg.replication_truncate_rate
+                    ),
+                    "lease_renewal_drop": bool(
+                        env_cfg and env_cfg.lease_renewal_drop_rate
+                    ),
+                },
+                "requests": len(submitted),
+                "answered": len(delivered),
+                "kills": kills,
+                "promotions": router.stats["promotions"],
+                "replayed_decisions": router.stats["replayed_decisions"],
+                "failover_retries": router.stats["failover_retries"],
+                "bitexact_checked": bitexact_checked,
+                "bitexact_mismatches": bitexact_mismatches,
+                "max_granted_pages": max_granted,
+                "quota_breaches": quota_breaches,
+                "lease_expiries": coordinator.stats["expired"],
+                "lease_rejections": coordinator.stats["rejected"],
+                "unanswered": len(unanswered),
+                "duplicate_answers": len(duplicates),
+                "conflicting_answers": len(conflicts),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # report
+    # ------------------------------------------------------------------
+    crashed = sum(1 for s in schedules if s["kills"])
+    print(
+        f"soak: {n_schedules} schedules x {n_shards} shards, "
+        f"{totals['kills']} kills fired across {crashed} schedules "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(kills_by_point.items()))})"
+    )
+    print(
+        f"  promotions: {totals['promotions']}, decisions replayed warm: "
+        f"{totals['replayed_decisions']}, failover retries: "
+        f"{totals['failover_retries']} "
+        f"(idempotent replays: {totals['idempotent_replays']})"
+    )
+    print(
+        f"  leases: {totals['lease_expiries']} expiries, "
+        f"{totals['lease_rejections']} stale renewals rejected; "
+        f"replication entries lost+reshipped: {totals['replication_lost']}; "
+        f"zero-capacity pumps: {totals['zero_capacity_pumps']}"
+    )
+    print(
+        f"  bit-exact failover decisions checked: "
+        f"{totals['bitexact_checked']} (0 mismatches required)"
+    )
+    print(f"  invariant violations: {len(violations)} (want 0)")
+    sample = schedules[:: max(1, n_schedules // 10)]
+    rows = [
+        [
+            s["schedule"],
+            "+".join(s["kill_points"]) or "-",
+            s["promotions"],
+            s["replayed_decisions"],
+            s["max_granted_pages"],
+            s["unanswered"],
+            s["duplicate_answers"],
+        ]
+        for s in sample
+    ]
+    print(
+        format_table(
+            [
+                "schedule",
+                "kill points",
+                "promoted",
+                "replayed",
+                "max granted",
+                "lost",
+                "dupes",
+            ],
+            rows,
+        )
+    )
+
+    if violations:
+        raise RuntimeError(
+            "cluster failover invariants violated:\n  " + "\n  ".join(violations)
+        )
+
+    return {
+        "n_schedules": n_schedules,
+        "n_shards": n_shards,
+        "global_quota_pages": GLOBAL_QUOTA_PAGES,
+        "lease_ttl_s": LEASE_TTL_S,
+        "total_kills": totals["kills"],
+        "kills_by_point": kills_by_point,
+        "crashed_schedules": crashed,
+        "promotions": totals["promotions"],
+        "replayed_decisions": totals["replayed_decisions"],
+        "failover_retries": totals["failover_retries"],
+        "idempotent_replays": totals["idempotent_replays"],
+        "lease_expiries": totals["lease_expiries"],
+        "lease_rejections": totals["lease_rejections"],
+        "replication_entries_lost": totals["replication_lost"],
+        "zero_capacity_pumps": totals["zero_capacity_pumps"],
+        "bitexact_checked": totals["bitexact_checked"],
+        "lost_decisions": sum(s["unanswered"] for s in schedules),
+        "duplicate_answers": sum(s["duplicate_answers"] for s in schedules),
+        "conflicting_answers": sum(s["conflicting_answers"] for s in schedules),
+        "quota_breaches": sum(s["quota_breaches"] for s in schedules),
+        "bitexact_mismatches": sum(s["bitexact_mismatches"] for s in schedules),
+        "invariant_violations": len(violations),
+        "schedules": schedules,
+    }

@@ -37,6 +37,7 @@ from pathlib import Path
 
 from repro.experiments import (
     ablation,
+    cluster_failover,
     extensibility,
     fig3,
     fig4,
@@ -76,6 +77,7 @@ EXPERIMENTS = {
     "observability": observability.run,
     "service_load": service_load.run,
     "transport_load": transport_load.run,
+    "cluster_failover": cluster_failover.run,
 }
 
 #: cheap-first ordering so failures surface early
@@ -98,6 +100,7 @@ DEFAULT_ORDER = (
     "observability",
     "service_load",
     "transport_load",
+    "cluster_failover",
 )
 
 

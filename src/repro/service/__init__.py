@@ -19,7 +19,10 @@ fast-memory budget:
 * :mod:`repro.service.server`    -- the facade tying it all together;
 * :mod:`repro.service.transport` -- the network face: CRC-framed asyncio
   TCP server plus a resilient retrying client with degrade-to-daemon
-  fallback.
+  fallback;
+* :mod:`repro.service.cluster`   -- the sharded control plane: consistent
+  hashing, TTL quota leases, WAL replication to warm followers, and
+  kill-tested failover through the journal replay path.
 
 Everything is dependency-free, clock-injectable and telemetry-optional,
 like the rest of the repo.  ``python -m repro.experiments.runner
@@ -50,6 +53,14 @@ from repro.service.transport import (
     RetryPolicy,
     TransportError,
 )
+from repro.service.cluster import (
+    ClusterRouter,
+    ConsistentHashRing,
+    PlacementShard,
+    QuotaCoordinator,
+    QuotaLease,
+    ShardCrashed,
+)
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -77,4 +88,10 @@ __all__ = [
     "PlacementClient",
     "RetryPolicy",
     "TransportError",
+    "ConsistentHashRing",
+    "QuotaLease",
+    "QuotaCoordinator",
+    "PlacementShard",
+    "ShardCrashed",
+    "ClusterRouter",
 ]

@@ -1,0 +1,52 @@
+"""Sharded, replicated placement control plane (PR 6).
+
+The cluster layer scales the PR-4 placement service horizontally and
+makes it survive shard kills:
+
+* :mod:`~repro.service.cluster.hashring` -- deterministic tenant -> shard
+  routing with virtual nodes;
+* :mod:`~repro.service.cluster.lease` -- TTL leases slicing the global
+  DRAM quota across shards (never over-committed, never stranded by a
+  dead shard);
+* :mod:`~repro.service.cluster.replication` -- each shard's WAL streamed
+  to a warm follower over the CRC-framed transport encoding, with an
+  acknowledged-LSN floor;
+* :mod:`~repro.service.cluster.shard` -- one journaled, lease-governed
+  :class:`~repro.service.server.PlacementServer` with injectable kill
+  points;
+* :mod:`~repro.service.cluster.router` -- consistent-hash routing,
+  heartbeat liveness, and follower promotion through the existing
+  :func:`~repro.core.journal.recover_journal` replay.
+
+The ``cluster_failover`` experiment kill-tests the whole stack under
+seeded schedules; see ``DESIGN.md`` §11 for the architecture and
+invariants.
+"""
+
+from repro.service.cluster.hashring import ConsistentHashRing
+from repro.service.cluster.lease import LeaseRejected, QuotaCoordinator, QuotaLease
+from repro.service.cluster.replication import (
+    FollowerJournal,
+    ReplicationError,
+    ReplicationSender,
+    decode_repl_append,
+    encode_repl_append,
+)
+from repro.service.cluster.router import ClusterRouter
+from repro.service.cluster.shard import PlacementShard, ShardCrashed, ShardDown
+
+__all__ = [
+    "ConsistentHashRing",
+    "QuotaLease",
+    "QuotaCoordinator",
+    "LeaseRejected",
+    "FollowerJournal",
+    "ReplicationSender",
+    "ReplicationError",
+    "encode_repl_append",
+    "decode_repl_append",
+    "PlacementShard",
+    "ShardCrashed",
+    "ShardDown",
+    "ClusterRouter",
+]

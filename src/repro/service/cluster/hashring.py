@@ -1,0 +1,77 @@
+"""Consistent hashing: the router's tenant -> shard map.
+
+A classic consistent-hash ring with virtual nodes: every shard owns
+``vnodes`` points on a 64-bit ring (SHA-256 of ``"<shard>#<k>"``), and a
+tenant routes to the first shard point clockwise of the tenant's own hash.
+Two properties matter to the control plane:
+
+* **stability** -- removing one shard only re-routes the tenants that
+  hashed to its points (roughly ``1/N`` of them); everyone else keeps
+  their shard, so their prediction caches and decided-id records stay
+  warm (tested in ``tests/test_cluster.py``);
+* **determinism** -- the map is a pure function of the member set, with
+  no RNG and no insertion-order dependence, so every router replica (and
+  every test) computes the same placement.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _hash64(key: str) -> int:
+    """First 8 bytes of SHA-256 as an unsigned 64-bit ring position."""
+    return int.from_bytes(hashlib.sha256(key.encode()).digest()[:8], "big")
+
+
+class ConsistentHashRing:
+    """Virtual-node consistent-hash ring over shard ids."""
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: list[tuple[int, str]] = []  # sorted (position, shard)
+        self._nodes: set[str] = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # ------------------------------------------------------------------
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"shard {node!r} is already on the ring")
+        self._nodes.add(node)
+        for k in range(self.vnodes):
+            bisect.insort(self._points, (_hash64(f"{node}#{k}"), node))
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise KeyError(f"shard {node!r} is not on the ring")
+        self._nodes.discard(node)
+        self._points = [(pos, n) for pos, n in self._points if n != node]
+
+    def route(self, key: str) -> str:
+        """The shard owning ``key`` (e.g. a tenant id)."""
+        if not self._points:
+            raise LookupError("the ring has no shards")
+        pos = _hash64(key)
+        i = bisect.bisect_right(self._points, (pos, "￿"))
+        if i == len(self._points):
+            i = 0  # wrap: first point clockwise of the ring's top
+        return self._points[i][1]
+
+    def assignment(self, keys: list[str]) -> dict[str, str]:
+        """Bulk ``{key: shard}`` map (used by tests and the experiment)."""
+        return {key: self.route(key) for key in keys}

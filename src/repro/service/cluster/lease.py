@@ -1,0 +1,246 @@
+"""Lease-based arbitration of the global DRAM quota across shards.
+
+One :class:`QuotaCoordinator` owns the cluster's *global* DRAM page budget.
+Shards never hold quota outright -- they hold **TTL leases** on slices of
+it, sized from their observed demand telemetry and renewed every heartbeat
+interval.  The rules, in invariant order:
+
+1. **never over-commit** -- at any instant, the sum of live lease pages is
+   ``<= global_quota_pages``.  Grants come only from the unleased
+   remainder; a renewal may grow a lease only by what is free *after* the
+   coordinator reclaims expired leases;
+2. **a dead shard can never strand quota** -- a lease that is not renewed
+   within ``ttl_s`` expires and its pages return to the pool, so a killed
+   shard's slice is re-grantable after one TTL, promotion or not;
+3. **stale renewals lose** -- every lease carries a monotonically
+   increasing ``lease_id``; a renewal quoting an id the coordinator no
+   longer holds (expired and possibly re-granted: the lease-expiry race)
+   is rejected with :class:`LeaseRejected` instead of resurrecting the old
+   lease, and the shard must re-acquire from the pool.
+
+Shards mirror rule 2 locally: a shard whose lease has passed its expiry
+(e.g. renewals lost to a router/coordinator partition) plans with **zero**
+capacity until a renewal lands -- conservative, degraded, and incapable of
+over-committing pages the coordinator may have re-granted elsewhere.
+
+The coordinator is synchronous and clock-free (every method takes ``now``)
+like the batching scheduler; the router layers heartbeat-paced renewal on
+top and the chaos soak drives it on a virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.sim.faults import RobustnessLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.telemetry import Telemetry
+
+__all__ = ["QuotaLease", "QuotaCoordinator", "LeaseRejected"]
+
+
+class LeaseRejected(RuntimeError):
+    """The coordinator refused a lease operation (stale id, unknown shard)."""
+
+
+@dataclass(frozen=True)
+class QuotaLease:
+    """One shard's live slice of the global DRAM budget."""
+
+    lease_id: int
+    shard_id: str
+    pages: int
+    granted_s: float
+    expires_s: float
+
+    def live(self, now: float) -> bool:
+        return now <= self.expires_s
+
+
+class QuotaCoordinator:
+    """TTL-leased slices of one global DRAM page budget."""
+
+    def __init__(
+        self,
+        global_quota_pages: int,
+        ttl_s: float = 1.0,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        if global_quota_pages < 0:
+            raise ValueError("global_quota_pages must be >= 0")
+        if ttl_s <= 0:
+            raise ValueError("ttl_s must be positive")
+        self.global_quota_pages = global_quota_pages
+        self.ttl_s = ttl_s
+        self.telemetry = telemetry
+        self.log = RobustnessLog()
+        self._leases: dict[str, QuotaLease] = {}
+        self._next_lease_id = 0
+        #: lease operations by outcome (asserted on by the chaos soak)
+        self.stats: dict[str, int] = {
+            "granted": 0,
+            "renewed": 0,
+            "rejected": 0,
+            "expired": 0,
+            "released": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # accounting (the soak asserts these every tick)
+    # ------------------------------------------------------------------
+    def leases(self, now: float) -> dict[str, QuotaLease]:
+        """Live leases by shard (expired ones excluded but not reclaimed)."""
+        return {s: l for s, l in self._leases.items() if l.live(now)}
+
+    def granted_pages(self, now: float) -> int:
+        """Sum of live lease pages -- must never exceed the global quota."""
+        return sum(l.pages for l in self._leases.values() if l.live(now))
+
+    def available_pages(self, now: float) -> int:
+        """Unleased remainder of the global budget at ``now``.
+
+        Pages of *expired but not yet reclaimed* leases do not count as
+        available: reclamation is explicit (:meth:`expire`), so the window
+        between expiry and reclamation can only under-grant, never double-
+        grant.
+        """
+        held = sum(l.pages for l in self._leases.values())
+        return max(self.global_quota_pages - held, 0)
+
+    # ------------------------------------------------------------------
+    # lease lifecycle
+    # ------------------------------------------------------------------
+    def expire(self, now: float) -> list[QuotaLease]:
+        """Reclaim every lease past its TTL; returns the reclaimed ones."""
+        dead = [l for l in self._leases.values() if not l.live(now)]
+        for lease in dead:
+            del self._leases[lease.shard_id]
+            self.stats["expired"] += 1
+            self.log.record(
+                "cluster.lease_expired",
+                now,
+                shard=lease.shard_id,
+                lease_id=lease.lease_id,
+                pages=lease.pages,
+            )
+            self._count("expired")
+        if dead:
+            self._gauge(now)
+        return dead
+
+    def acquire(
+        self, shard_id: str, demand_pages: int, now: float
+    ) -> QuotaLease:
+        """Grant ``shard_id`` a fresh lease of up to ``demand_pages``.
+
+        An existing lease for the shard (e.g. a pre-promotion incarnation
+        that never expired) is replaced, its pages returning to the pool
+        first -- one shard, one lease, always.
+        """
+        if demand_pages < 0:
+            raise ValueError("demand_pages must be >= 0")
+        self.expire(now)
+        old = self._leases.pop(shard_id, None)
+        if old is not None:
+            self.stats["released"] += 1
+            self._count("released")
+        grant = min(demand_pages, self.available_pages(now))
+        lease = QuotaLease(
+            lease_id=self._next_lease_id,
+            shard_id=shard_id,
+            pages=grant,
+            granted_s=now,
+            expires_s=now + self.ttl_s,
+        )
+        self._next_lease_id += 1
+        self._leases[shard_id] = lease
+        self.stats["granted"] += 1
+        self.log.record(
+            "cluster.lease_granted",
+            now,
+            shard=shard_id,
+            lease_id=lease.lease_id,
+            pages=grant,
+            demand=demand_pages,
+        )
+        self._count("granted")
+        self._gauge(now)
+        return lease
+
+    def renew(
+        self, lease: QuotaLease, demand_pages: int, now: float
+    ) -> QuotaLease:
+        """Extend ``lease`` and resize it toward ``demand_pages``.
+
+        Shrinking always succeeds (pages return to the pool); growing is
+        capped by what is free.  Renewing a lease the coordinator no longer
+        holds under the same id raises :class:`LeaseRejected` -- the
+        expired-and-reissued race must not resurrect stale quota.
+        """
+        if demand_pages < 0:
+            raise ValueError("demand_pages must be >= 0")
+        self.expire(now)
+        current = self._leases.get(lease.shard_id)
+        if current is None or current.lease_id != lease.lease_id:
+            self.stats["rejected"] += 1
+            self.log.record(
+                "cluster.lease_renewal_rejected",
+                now,
+                shard=lease.shard_id,
+                lease_id=lease.lease_id,
+                held_id=current.lease_id if current is not None else -1,
+            )
+            self._count("rejected")
+            raise LeaseRejected(
+                f"lease {lease.lease_id} of shard {lease.shard_id!r} is no "
+                f"longer held (expired or replaced); re-acquire"
+            )
+        headroom = self.available_pages(now)
+        pages = min(demand_pages, current.pages + headroom)
+        renewed = replace(
+            current, pages=pages, granted_s=now, expires_s=now + self.ttl_s
+        )
+        self._leases[lease.shard_id] = renewed
+        self.stats["renewed"] += 1
+        self.log.record(
+            "cluster.lease_renewed",
+            now,
+            shard=lease.shard_id,
+            lease_id=renewed.lease_id,
+            pages=pages,
+            demand=demand_pages,
+        )
+        self._count("renewed")
+        self._gauge(now)
+        return renewed
+
+    def release(self, lease: QuotaLease, now: float) -> bool:
+        """Voluntarily return a lease (clean shard shutdown)."""
+        current = self._leases.get(lease.shard_id)
+        if current is None or current.lease_id != lease.lease_id:
+            return False
+        del self._leases[lease.shard_id]
+        self.stats["released"] += 1
+        self.log.record(
+            "cluster.lease_released",
+            now,
+            shard=lease.shard_id,
+            lease_id=lease.lease_id,
+            pages=lease.pages,
+        )
+        self._count("released")
+        self._gauge(now)
+        return True
+
+    # ------------------------------------------------------------------
+    def _count(self, event: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.inc("merch_cluster_lease_events_total", event=event)
+
+    def _gauge(self, now: float) -> None:
+        if self.telemetry is not None:
+            self.telemetry.set(
+                "merch_cluster_leased_pages", float(self.granted_pages(now))
+            )

@@ -1,0 +1,221 @@
+"""Journal replication: a shard's WAL streamed to a warm follower.
+
+Each placement shard appends its decisions to a PR-2
+:class:`~repro.core.journal.WriteAheadLog`; this module ships those
+entries, in LSN order, to a standby :class:`FollowerJournal` so failover
+can replay them with the existing :func:`~repro.core.journal.recover_journal`
+path and resume **warm**.
+
+Wire discipline (the replication stream rides the PR-5 framing):
+
+* every shipment unit is one WAL entry wrapped in a ``repl_append``
+  message and encoded as a CRC-framed byte string
+  (:func:`~repro.service.transport.framing.encode_frame`), so a corrupt
+  or torn entry is detected at the frame layer before it can poison the
+  follower's journal;
+* messages carry the entry's **LSN**; the follower applies them strictly
+  in order, acknowledges the highest contiguous LSN it holds (the
+  *acknowledged-LSN floor*), ignores re-shipped entries at or below the
+  floor (idempotent retransmission) and refuses gaps;
+* the sender trusts nothing but the returned floor: entries lost to a
+  truncated shipment (``FaultConfig.replication_truncate_rate``) simply
+  stay pending and are re-shipped next time.  Truncation costs *lag*,
+  never correctness.
+
+The WAL entry itself is CRC-guarded too (PR-2), so a primary that died
+mid-append ships its torn entry as-is; the follower stores it faithfully
+and ``reopen()`` truncates it at promotion, exactly as local recovery
+would.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.core.journal import WriteAheadLog
+from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.service.transport.framing import (
+    DEFAULT_MAX_FRAME,
+    FrameError,
+    decode_frame,
+    encode_frame,
+)
+from repro.sim.faults import RobustnessLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.telemetry import Telemetry
+    from repro.sim.faults import FaultInjector
+
+__all__ = [
+    "ReplicationError",
+    "encode_repl_append",
+    "decode_repl_append",
+    "FollowerJournal",
+    "ReplicationSender",
+]
+
+
+class ReplicationError(RuntimeError):
+    """A replication message violated the stream discipline (gap, refit)."""
+
+
+def encode_repl_append(shard_id: str, lsn: int, entry: str) -> dict:
+    """One WAL entry as a protocol message (framed by the caller)."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "kind": "repl_append",
+        "shard": shard_id,
+        "lsn": int(lsn),
+        "entry": entry,
+    }
+
+
+def decode_repl_append(payload: Mapping) -> tuple[str, int, str]:
+    """(shard_id, lsn, entry) of a ``repl_append`` message."""
+    if payload.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {payload.get('v')!r} in a "
+            f"replication message"
+        )
+    if payload.get("kind") != "repl_append":
+        raise ProtocolError(
+            f"expected a 'repl_append' message, got {payload.get('kind')!r}"
+        )
+    try:
+        return str(payload["shard"]), int(payload["lsn"]), str(payload["entry"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed repl_append: {exc!r}") from exc
+
+
+class FollowerJournal:
+    """A shard's warm standby: replicated WAL + acknowledged-LSN floor."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.max_frame = max_frame
+        self.telemetry = telemetry
+        self.journal = WriteAheadLog()
+        self.log = RobustnessLog()
+        #: highest contiguous LSN applied; -1 = nothing replicated yet
+        self.acked_lsn = -1
+        self.stats: dict[str, int] = {"applied": 0, "retransmits": 0, "gaps": 0}
+
+    def receive(self, frame: bytes) -> int:
+        """Apply one framed ``repl_append``; returns the new acked floor.
+
+        Raises :class:`~repro.service.transport.framing.FrameError` on a
+        corrupt/torn frame and :class:`ReplicationError` on an LSN gap --
+        in both cases nothing is applied and the floor is unchanged, so
+        the sender will retransmit from the floor.
+        """
+        message = decode_frame(frame, self.max_frame)
+        shard_id, lsn, entry = decode_repl_append(message)
+        if shard_id != self.shard_id:
+            raise ReplicationError(
+                f"follower of {self.shard_id!r} received a stream for "
+                f"{shard_id!r}"
+            )
+        if lsn <= self.acked_lsn:
+            # idempotent retransmission: already applied, ack again
+            self.stats["retransmits"] += 1
+            return self.acked_lsn
+        if lsn != self.acked_lsn + 1:
+            self.stats["gaps"] += 1
+            self.log.record(
+                "cluster.replication_gap",
+                0.0,
+                shard=self.shard_id,
+                expected=self.acked_lsn + 1,
+                got=lsn,
+            )
+            raise ReplicationError(
+                f"replication gap on {self.shard_id!r}: expected LSN "
+                f"{self.acked_lsn + 1}, got {lsn}"
+            )
+        self.journal.entries.append(entry)
+        self.acked_lsn = lsn
+        self.stats["applied"] += 1
+        if self.telemetry is not None:
+            self.telemetry.inc(
+                "merch_cluster_replication_entries_total", outcome="applied"
+            )
+        return self.acked_lsn
+
+
+class ReplicationSender:
+    """The primary's side: ship WAL entries from the acknowledged floor.
+
+    The sender never advances its own bookkeeping -- the follower's
+    returned floor *is* the bookkeeping.  A shipment that loses its tail
+    (injected via ``replication_truncate_rate``) or hits a corrupt frame
+    leaves the floor short, and the next :meth:`ship` re-sends the
+    remainder.
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        journal: WriteAheadLog,
+        faults: "FaultInjector | None" = None,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.journal = journal
+        self.faults = faults
+        self.telemetry = telemetry
+        self.stats: dict[str, int] = {"shipped": 0, "lost": 0, "rejected": 0}
+
+    def lag(self, follower: FollowerJournal) -> int:
+        """Entries the follower is behind the primary's journal."""
+        return len(self.journal.entries) - (follower.acked_lsn + 1)
+
+    def ship(self, follower: FollowerJournal, now: float) -> int:
+        """Ship everything past the follower's floor; returns the floor.
+
+        WAL entry *i* of this journal carries LSN *i* (LSNs are assigned
+        densely by :class:`~repro.core.journal.WriteAheadLog`), so the
+        floor indexes directly into ``journal.entries``.
+        """
+        start = follower.acked_lsn + 1
+        pending = self.journal.entries[start:]
+        if not pending:
+            return follower.acked_lsn
+        n_deliver = len(pending)
+        if self.faults is not None:
+            lost = self.faults.replication_truncation(n_deliver, now)
+            if lost:
+                self.stats["lost"] += lost
+                if self.telemetry is not None:
+                    self.telemetry.inc(
+                        "merch_cluster_replication_entries_total",
+                        lost,
+                        outcome="lost",
+                    )
+                n_deliver -= lost
+        for offset in range(n_deliver):
+            frame = encode_frame(
+                encode_repl_append(self.shard_id, start + offset, pending[offset])
+            )
+            try:
+                follower.receive(frame)
+            except (FrameError, ReplicationError):
+                # poisoned frame or gap: stop; the floor stays short and
+                # the next ship retransmits from it
+                self.stats["rejected"] += 1
+                break
+            self.stats["shipped"] += 1
+            if self.telemetry is not None:
+                self.telemetry.inc(
+                    "merch_cluster_replication_entries_total", outcome="shipped"
+                )
+        if self.telemetry is not None:
+            self.telemetry.set(
+                "merch_cluster_replication_lag_entries",
+                float(self.lag(follower)),
+            )
+        return follower.acked_lsn

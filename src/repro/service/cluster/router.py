@@ -1,0 +1,350 @@
+"""The cluster router: consistent-hash routing, liveness, failover.
+
+:class:`ClusterRouter` is the thin layer that turns N independent
+:class:`~repro.service.cluster.shard.PlacementShard` instances into one
+control plane:
+
+* **routing** -- tenants map to shards through a
+  :class:`~repro.service.cluster.hashring.ConsistentHashRing`, so adding
+  or losing a shard re-routes only that shard's tenants;
+* **liveness** -- every tick the router heartbeats each shard; a shard
+  that misses ``heartbeat_miss_threshold`` consecutive probes is declared
+  dead *by the probe schedule*, not by the first request that happens to
+  time out against it;
+* **failover** -- a dead shard's replication follower is promoted: its
+  replicated WAL is replayed through the existing PR-2
+  :func:`~repro.core.journal.recover_journal` path (checkpoint restore +
+  committed-epoch replay, open epoch rolled back), a fresh shard adopts
+  the reconstructed decided-id record warm, re-acquires a quota lease,
+  and every still-unanswered in-flight request is retried against it --
+  answered from the replayed record when its decision committed before
+  the kill, re-planned when it did not.  Either way each request id is
+  answered exactly once;
+* **quota** -- the router paces lease renewals against the
+  :class:`~repro.service.cluster.lease.QuotaCoordinator`; an injected
+  router/coordinator partition (``FaultConfig.partition_rate``) silences
+  renewals, leases expire, and the affected shards degrade to zero
+  capacity instead of spending quota the coordinator may re-grant.
+
+The router is synchronous and clock-free like everything beneath it: the
+chaos soak drives :meth:`submit` / :meth:`tick` on a virtual clock.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.journal import recover_journal
+from repro.service.cluster.hashring import ConsistentHashRing
+from repro.service.cluster.lease import QuotaCoordinator
+from repro.service.cluster.replication import FollowerJournal
+from repro.service.cluster.shard import PlacementShard, ShardCrashed
+from repro.service.protocol import (
+    PlacementDecision,
+    PlacementRequest,
+    decode_decision,
+)
+from repro.sim.faults import RobustnessLog
+from repro.sim.pages import PageTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.journal import WriteAheadLog
+    from repro.core.telemetry import Telemetry
+    from repro.sim.faults import FaultInjector
+
+__all__ = ["ClusterRouter"]
+
+#: shard_factory(shard_id, replicated_journal_or_None) -> PlacementShard
+ShardFactory = Callable[[str, "WriteAheadLog | None"], PlacementShard]
+
+
+class ClusterRouter:
+    """Consistent-hash router with heartbeat liveness and warm failover."""
+
+    def __init__(
+        self,
+        coordinator: QuotaCoordinator,
+        shard_factory: ShardFactory,
+        *,
+        vnodes: int = 32,
+        heartbeat_interval_s: float = 0.05,
+        heartbeat_miss_threshold: int = 3,
+        lease_renew_interval_s: float | None = None,
+        faults: "FaultInjector | None" = None,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        if heartbeat_miss_threshold < 1:
+            raise ValueError("heartbeat_miss_threshold must be >= 1")
+        self.coordinator = coordinator
+        self.shard_factory = shard_factory
+        self.ring = ConsistentHashRing(vnodes=vnodes)
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_miss_threshold = heartbeat_miss_threshold
+        #: renew well inside the TTL so one lost renewal is survivable
+        self.lease_renew_interval_s = (
+            coordinator.ttl_s / 3.0
+            if lease_renew_interval_s is None
+            else lease_renew_interval_s
+        )
+        self.faults = faults
+        self.telemetry = telemetry
+        self.log = RobustnessLog()
+        self.shards: dict[str, PlacementShard] = {}
+        self.followers: dict[str, FollowerJournal] = {}
+        self._last_heartbeat_ok: dict[str, float] = {}
+        self._missed_heartbeats: dict[str, int] = {}
+        self._last_renew: dict[str, float] = {}
+        #: unanswered requests per shard, by request id (the retry set)
+        self._inflight: dict[str, dict[str, PlacementRequest]] = {}
+        self.stats: dict[str, int] = {
+            "routed": 0,
+            "answered": 0,
+            "promotions": 0,
+            "failover_retries": 0,
+            "replayed_decisions": 0,
+            "heartbeat_misses": 0,
+            "partition_ticks": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add_shard(self, shard_id: str, now: float) -> PlacementShard:
+        if shard_id in self.shards:
+            raise ValueError(f"shard {shard_id!r} already exists")
+        shard = self.shard_factory(shard_id, None)
+        self.ring.add(shard_id)
+        self.shards[shard_id] = shard
+        self.followers[shard_id] = FollowerJournal(
+            shard_id, telemetry=self.telemetry
+        )
+        self._inflight[shard_id] = {}
+        self._last_heartbeat_ok[shard_id] = now
+        self._missed_heartbeats[shard_id] = 0
+        if self._coordinator_reachable(now):
+            shard.acquire_lease(now)
+            self._last_renew[shard_id] = now
+        else:
+            self._last_renew[shard_id] = -float("inf")
+        self._gauge_shards()
+        return shard
+
+    def shard_for(self, tenant: str) -> str:
+        return self.ring.route(tenant)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(
+        self, request: PlacementRequest, now: float
+    ) -> PlacementDecision | None:
+        """Route one request; returns its decision when answered at once
+        (idempotent replay or admission shed), else ``None`` until a later
+        :meth:`tick` delivers it.
+
+        A request routed to a dead shard is *parked*: it stays in the
+        in-flight set and is submitted to the promoted follower as part of
+        failover.  Nothing is ever dropped on the floor.
+        """
+        shard_id = self.ring.route(request.tenant)
+        shard = self.shards[shard_id]
+        self.stats["routed"] += 1
+        self._inflight[shard_id][request.request_id] = request
+        if not shard.alive:
+            return None
+        try:
+            decision = shard.submit(request, now)
+        except ShardCrashed:  # pragma: no cover - submit has no kill point
+            decision = None
+        if decision is not None:
+            self._inflight[shard_id].pop(request.request_id, None)
+            self.stats["answered"] += 1
+        return decision
+
+    # ------------------------------------------------------------------
+    # the control loop
+    # ------------------------------------------------------------------
+    def tick(self, now: float, flush: bool = False) -> list[PlacementDecision]:
+        """One control-loop turn: renew leases, pump + replicate every
+        live shard, heartbeat everyone, promote the dead.  Returns the
+        decisions delivered this tick."""
+        delivered: list[PlacementDecision] = []
+        partitioned = self._partitioned(now)
+        for shard_id in sorted(self.shards):
+            shard = self.shards[shard_id]
+            if not shard.alive:
+                continue
+            try:
+                if (
+                    not partitioned
+                    and now - self._last_renew[shard_id]
+                    >= self.lease_renew_interval_s
+                ):
+                    if shard.renew_lease(now) is not None:
+                        self._last_renew[shard_id] = now
+                decisions = shard.flush(now) if flush else shard.pump(now)
+                delivered.extend(self._resolve(shard_id, decisions))
+                shard.replicate(self.followers[shard_id], now)
+            except ShardCrashed as exc:
+                self.log.record(
+                    "cluster.shard_crashed",
+                    now,
+                    shard=shard_id,
+                    point=exc.point,
+                )
+                continue
+            # a full pass through the shard counts as a heartbeat answer
+            self._heartbeat_ok(shard_id, now)
+        self.coordinator.expire(now)
+        delivered.extend(self._check_liveness(now))
+        return delivered
+
+    def drain(self, now: float) -> list[PlacementDecision]:
+        """Flush every shard (end-of-run: decide everything pending)."""
+        return self.tick(now, flush=True)
+
+    def inflight_count(self) -> int:
+        return sum(len(v) for v in self._inflight.values())
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def _heartbeat_ok(self, shard_id: str, now: float) -> None:
+        self._last_heartbeat_ok[shard_id] = now
+        self._missed_heartbeats[shard_id] = 0
+
+    def _check_liveness(self, now: float) -> list[PlacementDecision]:
+        """Declare shards dead by missed heartbeats; promote their
+        followers.  Returns decisions answered during failover retry."""
+        delivered: list[PlacementDecision] = []
+        for shard_id in sorted(self.shards):
+            shard = self.shards[shard_id]
+            if shard.heartbeat(now):
+                continue
+            missed = 1 + int(
+                (now - self._last_heartbeat_ok[shard_id])
+                // self.heartbeat_interval_s
+            )
+            self._missed_heartbeats[shard_id] = missed
+            self.stats["heartbeat_misses"] += 1
+            if self.telemetry is not None:
+                self.telemetry.inc("merch_cluster_heartbeat_misses_total")
+            if missed >= self.heartbeat_miss_threshold:
+                self.log.record(
+                    "cluster.shard_declared_dead",
+                    now,
+                    shard=shard_id,
+                    missed_heartbeats=missed,
+                )
+                delivered.extend(self.promote(shard_id, now))
+        return delivered
+
+    # ------------------------------------------------------------------
+    # failover
+    # ------------------------------------------------------------------
+    def promote(self, shard_id: str, now: float) -> list[PlacementDecision]:
+        """Promote ``shard_id``'s follower to primary and retry in-flight.
+
+        The follower's replicated WAL goes through
+        :func:`~repro.core.journal.recover_journal` exactly like a local
+        crash recovery: torn tail truncated, the open epoch rolled back,
+        the newest committed checkpoint restored.  The decided-id record
+        is rebuilt from the checkpoint plus every committed epoch's
+        decisions (idempotent overwrites), so retried requests whose
+        decisions committed before the kill are answered bit-exactly from
+        the record instead of being re-planned.
+        """
+        follower = self.followers[shard_id]
+        outcome = recover_journal(follower.journal, PageTable([], 0))
+        state = outcome.checkpoint_state or {}
+        decided: dict[str, PlacementDecision] = {
+            rid: decode_decision(payload)
+            for rid, payload in state.get("decided", {}).items()
+        }
+        epoch_seq = int(state.get("epoch_seq", 0))
+        for record in follower.journal.records():
+            if record.kind != "epoch_commit":
+                continue
+            for payload in record.payload.get("decisions", []):
+                decision = decode_decision(payload)
+                decided[decision.request_id] = decision
+            epoch_seq = max(epoch_seq, int(record.payload.get("region", -1)) + 1)
+        shard = self.shard_factory(shard_id, follower.journal)
+        shard.adopt(decided, epoch_seq, int(state.get("lease_pages", 0)))
+        self.shards[shard_id] = shard
+        self.followers[shard_id] = FollowerJournal(
+            shard_id, telemetry=self.telemetry
+        )
+        self._heartbeat_ok(shard_id, now)
+        self.stats["promotions"] += 1
+        self.stats["replayed_decisions"] += len(decided)
+        self.log.record(
+            "cluster.promoted",
+            now,
+            shard=shard_id,
+            replayed_decisions=len(decided),
+            epoch_seq=epoch_seq,
+            torn_tail=outcome.torn_tail,
+            warm=outcome.checkpoint_state is not None,
+        )
+        if self.telemetry is not None:
+            self.telemetry.inc("merch_cluster_promotions_total")
+            self.telemetry.observe(
+                "merch_cluster_failover_replayed_decisions", float(len(decided))
+            )
+        if self._coordinator_reachable(now):
+            # the dead incarnation's lease is NOT force-released -- it runs
+            # out its TTL; the promoted shard acquires what is free now
+            shard.acquire_lease(now)
+            self._last_renew[shard_id] = now
+        else:
+            self._last_renew[shard_id] = -float("inf")
+        self._gauge_shards()
+        return self._retry_inflight(shard_id, now)
+
+    def _retry_inflight(
+        self, shard_id: str, now: float
+    ) -> list[PlacementDecision]:
+        """Resubmit every unanswered request of a promoted shard."""
+        shard = self.shards[shard_id]
+        delivered: list[PlacementDecision] = []
+        for rid, request in list(self._inflight[shard_id].items()):
+            self.stats["failover_retries"] += 1
+            if self.telemetry is not None:
+                self.telemetry.inc(
+                    "merch_cluster_requests_total", path="failover_retry"
+                )
+            decision = shard.submit(request, now)
+            if decision is not None:
+                self._inflight[shard_id].pop(rid, None)
+                self.stats["answered"] += 1
+                delivered.append(decision)
+        return delivered
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _resolve(
+        self, shard_id: str, decisions: list[PlacementDecision]
+    ) -> list[PlacementDecision]:
+        inflight = self._inflight[shard_id]
+        for decision in decisions:
+            inflight.pop(decision.request_id, None)
+        self.stats["answered"] += len(decisions)
+        return decisions
+
+    def _partitioned(self, now: float) -> bool:
+        if self.faults is not None and self.faults.coordinator_partition(now):
+            self.stats["partition_ticks"] += 1
+            return True
+        return False
+
+    def _coordinator_reachable(self, now: float) -> bool:
+        return not self._partitioned(now)
+
+    def _gauge_shards(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.set(
+                "merch_cluster_shards",
+                float(sum(1 for s in self.shards.values() if s.alive)),
+            )

@@ -1,0 +1,323 @@
+"""One placement shard: a journaled, lease-governed ``PlacementServer``.
+
+A shard is the unit of scale-out *and* the unit of failure.  It wraps the
+PR-4 :class:`~repro.service.server.PlacementServer` with three cluster
+duties:
+
+* **decision journaling** -- every pump that decides requests runs as one
+  PR-2 WAL epoch: ``epoch_begin`` before planning, ``epoch_commit``
+  carrying the encoded decisions, and a periodic ``checkpoint`` of the
+  decided-id record + lease state.  Commit-before-reply ordering means a
+  committed decision can always be re-served after failover, and an
+  uncommitted one was never observed by anyone -- so replay can safely
+  roll it back and let the request be re-planned;
+* **leased capacity** -- the shard plans only inside its live
+  :class:`~repro.service.cluster.lease.QuotaLease`.  A lease past its
+  expiry (renewals lost to a partition) degrades the shard to **zero**
+  DRAM capacity: requests still get answered, with zero-page grants,
+  because pages the coordinator may have re-granted elsewhere must never
+  be promised twice;
+* **kill surface** -- a per-shard :class:`~repro.sim.faults.FaultInjector`
+  is consulted at the shard crash points (``shard_pump``,
+  ``shard_mid_epoch``, ``shard_post_commit``, ``shard_lease_renew``);
+  a fired kill raises :class:`ShardCrashed` and permanently deadens the
+  instance, exactly like a killed process.  The router notices via missed
+  heartbeats and promotes the replication follower.
+
+The shard keeps the transport's idempotency contract: a request id it has
+already decided (locally or inherited through failover replay) is answered
+from the record, never re-planned.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.common import PAGE_SIZE
+from repro.core.journal import WriteAheadLog
+from repro.service.cluster.lease import LeaseRejected, QuotaCoordinator, QuotaLease
+from repro.service.cluster.replication import FollowerJournal, ReplicationSender
+from repro.service.protocol import (
+    PlacementDecision,
+    PlacementRequest,
+    encode_decision,
+)
+from repro.service.server import PlacementServer
+from repro.sim.faults import RobustnessLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.telemetry import Telemetry
+    from repro.sim.faults import FaultInjector
+
+__all__ = ["PlacementShard", "ShardCrashed", "ShardDown"]
+
+
+class ShardCrashed(RuntimeError):
+    """An injected kill fired inside this shard (it is dead afterwards)."""
+
+    def __init__(self, shard_id: str, point: str, time_s: float) -> None:
+        super().__init__(f"shard {shard_id!r} killed at {point} (t={time_s:.3f}s)")
+        self.shard_id = shard_id
+        self.point = point
+        self.time_s = time_s
+
+
+class ShardDown(RuntimeError):
+    """The shard is dead; the caller must wait for failover."""
+
+
+class PlacementShard:
+    """Journaled, replicated, lease-governed placement shard."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        server: PlacementServer,
+        coordinator: QuotaCoordinator,
+        journal: WriteAheadLog | None = None,
+        *,
+        faults: "FaultInjector | None" = None,
+        telemetry: "Telemetry | None" = None,
+        checkpoint_every: int = 8,
+        decided_window: int = 4096,
+        base_demand_pages: int = 0,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if decided_window < 1:
+            raise ValueError("decided_window must be >= 1")
+        self.shard_id = shard_id
+        self.server = server
+        self.coordinator = coordinator
+        self.journal = journal if journal is not None else WriteAheadLog()
+        self.faults = faults
+        self.telemetry = telemetry
+        self.checkpoint_every = checkpoint_every
+        self.decided_window = decided_window
+        self.base_demand_pages = base_demand_pages
+        self.replication = ReplicationSender(
+            shard_id, self.journal, faults=faults, telemetry=telemetry
+        )
+        self.lease: QuotaLease | None = None
+        self.alive = True
+        self.log = RobustnessLog()
+        #: bounded record of decided requests (idempotency across failover)
+        self._decided: "OrderedDict[str, PlacementDecision]" = OrderedDict()
+        self._epoch_seq = 0
+        self._epochs_since_checkpoint = 0
+        #: EWMA of recently granted pages: the demand telemetry leases
+        #: are renewed from
+        self._grant_ewma = 0.0
+        self.stats: dict[str, int] = {
+            "submitted": 0,
+            "decided": 0,
+            "idempotent_replays": 0,
+            "epochs_committed": 0,
+            "zero_capacity_pumps": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle / fault surface
+    # ------------------------------------------------------------------
+    def _crash(self, point: str, now: float) -> None:
+        if self.faults is not None and self.faults.crash_due(point, now):
+            self.alive = False
+            self.log.record(
+                "cluster.shard_killed", now, shard=self.shard_id, point=point
+            )
+            raise ShardCrashed(self.shard_id, point, now)
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise ShardDown(f"shard {self.shard_id!r} is dead")
+
+    def heartbeat(self, now: float) -> bool:
+        """One liveness probe: True iff the shard can still answer."""
+        return self.alive
+
+    # ------------------------------------------------------------------
+    # leases
+    # ------------------------------------------------------------------
+    def demand_pages(self) -> int:
+        """Observed demand: pending footprint + a grant EWMA, floored at
+        the configured base share (so an idle shard keeps a minimum slice
+        ready for its next burst)."""
+        pending_pages = 0
+        for entry in self.server.scheduler._pending:
+            pending_pages += -(-entry.request.input_size_bytes // PAGE_SIZE)
+        return max(
+            self.base_demand_pages, pending_pages + int(round(self._grant_ewma))
+        )
+
+    def effective_capacity_bytes(self, now: float) -> int:
+        """DRAM bytes this shard may plan with at ``now`` -- its live
+        lease, or zero once the lease expired under it."""
+        if self.lease is None or not self.lease.live(now):
+            return 0
+        return self.lease.pages * PAGE_SIZE
+
+    def acquire_lease(self, now: float, demand_pages: int | None = None) -> QuotaLease:
+        self._require_alive()
+        demand = self.demand_pages() if demand_pages is None else demand_pages
+        self.lease = self.coordinator.acquire(self.shard_id, demand, now)
+        return self.lease
+
+    def renew_lease(self, now: float) -> QuotaLease | None:
+        """Renew (or re-acquire) the lease from current demand telemetry.
+
+        Returns the applied lease, or ``None`` when the renewal message
+        was lost in flight (``lease_renewal_drop_rate``): the shard keeps
+        believing in its old lease while the coordinator's TTL keeps
+        running -- the expiry race the coordinator's id check resolves.
+        """
+        self._require_alive()
+        if self.lease is None:
+            return self.acquire_lease(now)
+        if self.faults is not None and self.faults.lease_renewal_lost(now):
+            return None
+        demand = self.demand_pages()
+        try:
+            renewed = self.coordinator.renew(self.lease, demand, now)
+        except LeaseRejected:
+            # expired (and possibly re-granted) under us: start fresh
+            self.lease = None
+            return self.acquire_lease(now, demand)
+        # the coordinator applied the renewal; dying *here* leaves it
+        # holding a lease its shard never learned about (reclaimed on TTL)
+        self._crash("shard_lease_renew", now)
+        self.lease = renewed
+        return renewed
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(
+        self, request: PlacementRequest, now: float
+    ) -> PlacementDecision | None:
+        """Admit one request; idempotent by request id across failover."""
+        self._require_alive()
+        self.stats["submitted"] += 1
+        recorded = self._decided.get(request.request_id)
+        if recorded is not None:
+            self.stats["idempotent_replays"] += 1
+            if self.telemetry is not None:
+                self.telemetry.inc(
+                    "merch_cluster_requests_total", path="idempotent"
+                )
+            return recorded
+        if self.telemetry is not None:
+            self.telemetry.inc("merch_cluster_requests_total", path="routed")
+        decision = self.server.submit(request, now)
+        if decision is not None:
+            # shed at admission: answered immediately (zero grants), and
+            # remembered so a retry cannot turn one answer into two
+            self._remember([decision])
+        return decision
+
+    def pump(self, now: float, flush: bool = False) -> list[PlacementDecision]:
+        """Fire due batches as one journaled epoch; returns the decisions.
+
+        Ordering is commit-before-reply: ``epoch_begin`` -> plan ->
+        ``epoch_commit`` (decisions inside) -> record + return.  The
+        injected kills land between those steps, which is exactly what the
+        failover soak needs to prove nothing is lost either way.
+        """
+        self._require_alive()
+        self._crash("shard_pump", now)
+        scheduler = self.server.scheduler
+        if not scheduler.pending_depth or not (flush or scheduler.due(now)):
+            return []
+        capacity = self.effective_capacity_bytes(now)
+        if capacity == 0:
+            self.stats["zero_capacity_pumps"] += 1
+        scheduler.dram_capacity_bytes = capacity
+        epoch = self.journal.begin_epoch(
+            {
+                "region": self._epoch_seq,
+                "time_s": now,
+                "dram_pages": {},
+                "binary": False,
+                "shard": self.shard_id,
+            }
+        )
+        decisions = (
+            self.server.flush(now) if flush else self.server.pump(now)
+        )
+        # planned but not yet committed: a kill here rolls the epoch back
+        # on replay and the requests are re-planned by the promoted shard
+        self._crash("shard_mid_epoch", now)
+        self.journal.commit_epoch(
+            epoch,
+            {
+                "region": self._epoch_seq,
+                "time_s": now,
+                "decisions": [encode_decision(d) for d in decisions],
+            },
+        )
+        self._epoch_seq += 1
+        self.stats["epochs_committed"] += 1
+        # committed but not yet replied: a kill here is answered from the
+        # replicated record when the retry lands on the promoted shard
+        self._crash("shard_post_commit", now)
+        self._remember(decisions)
+        self._grant_ewma = 0.7 * self._grant_ewma + 0.3 * float(
+            sum(d.dram_pages_granted for d in decisions)
+        )
+        self._epochs_since_checkpoint += 1
+        if self._epochs_since_checkpoint >= self.checkpoint_every:
+            self.checkpoint(now)
+        return decisions
+
+    def flush(self, now: float) -> list[PlacementDecision]:
+        return self.pump(now, flush=True)
+
+    def replicate(self, follower: FollowerJournal, now: float) -> int:
+        """Ship the WAL to the follower; returns the acked-LSN floor."""
+        self._require_alive()
+        return self.replication.ship(follower, now)
+
+    # ------------------------------------------------------------------
+    # decided record + checkpoints (the warm-failover state)
+    # ------------------------------------------------------------------
+    def _remember(self, decisions: list[PlacementDecision]) -> None:
+        self.stats["decided"] += len(decisions)
+        for decision in decisions:
+            self._decided[decision.request_id] = decision
+            self._decided.move_to_end(decision.request_id)
+        while len(self._decided) > self.decided_window:
+            self._decided.popitem(last=False)
+
+    def decided_record(self) -> dict[str, PlacementDecision]:
+        return dict(self._decided)
+
+    def checkpoint_state(self) -> dict:
+        """The JSON-plain warm-resume state journaled in checkpoints."""
+        return {
+            "shard": self.shard_id,
+            "epoch_seq": self._epoch_seq,
+            "lease_pages": self.lease.pages if self.lease is not None else 0,
+            "decided": {
+                rid: encode_decision(d) for rid, d in self._decided.items()
+            },
+        }
+
+    def checkpoint(self, now: float) -> None:
+        self.journal.checkpoint(
+            max(self._epoch_seq - 1, 0), self.checkpoint_state()
+        )
+        self._epochs_since_checkpoint = 0
+
+    def adopt(
+        self,
+        decided: dict[str, PlacementDecision],
+        epoch_seq: int,
+        lease_demand_pages: int,
+    ) -> None:
+        """Install replayed failover state (router promotion path)."""
+        self._decided = OrderedDict(decided)
+        while len(self._decided) > self.decided_window:
+            self._decided.popitem(last=False)
+        self._epoch_seq = epoch_seq
+        self._grant_ewma = float(lease_demand_pages)
+        self.stats["decided"] += len(self._decided)

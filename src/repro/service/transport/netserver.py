@@ -56,9 +56,13 @@ from repro.service.transport.framing import (
     FrameError,
     FrameTooLarge,
     FrameTruncated,
+    decode_health,
     encode_frame,
+    encode_health,
+    is_health,
     read_frame,
 )
+from repro.sim.faults import RobustnessLog
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.telemetry import Telemetry
@@ -103,6 +107,7 @@ class PlacementTransportServer:
         idle_timeout_s: float = 30.0,
         pump_interval_s: float = 0.001,
         completed_window: int = 4096,
+        evicted_window: int = 65536,
         telemetry: "Telemetry | None" = None,
         faults: "FaultInjector | None" = None,
     ) -> None:
@@ -114,6 +119,8 @@ class PlacementTransportServer:
             raise ValueError("pump_interval_s must be positive")
         if completed_window < 1:
             raise ValueError("completed_window must be >= 1")
+        if evicted_window < 1:
+            raise ValueError("evicted_window must be >= 1")
         self.server = server
         self.host = host
         self.port = port
@@ -122,12 +129,18 @@ class PlacementTransportServer:
         self.idle_timeout_s = idle_timeout_s
         self.pump_interval_s = pump_interval_s
         self.completed_window = completed_window
+        self.evicted_window = evicted_window
         self.telemetry = telemetry
         self.faults = faults
+        self.log = RobustnessLog()
         #: request id -> connections waiting on its decision
         self._waiters: dict[str, list[_Connection]] = {}
         #: bounded record of decided requests (idempotent resubmission)
         self._completed: "OrderedDict[str, PlacementDecision]" = OrderedDict()
+        #: ids whose decision record was evicted from the bounded window --
+        #: kept (bounded, cheaper: no decision payload) so a late retry of
+        #: an evicted id is *detected* and re-planned loudly, not silently
+        self._evicted: "OrderedDict[str, None]" = OrderedDict()
         self._conns: set[_Connection] = set()
         self._asyncio_server: asyncio.AbstractServer | None = None
         self._pump_task: asyncio.Task | None = None
@@ -144,6 +157,9 @@ class PlacementTransportServer:
             "protocol_errors": 0,
             "idle_timeouts": 0,
             "backpressure_pauses": 0,
+            "health_probes": 0,
+            "decided_evictions": 0,
+            "evicted_replans": 0,
         }
 
     # ------------------------------------------------------------------
@@ -287,6 +303,25 @@ class PlacementTransportServer:
             await self._close_conn(conn)
 
     async def _handle_message(self, conn: _Connection, payload: dict) -> None:
+        if is_health(payload):
+            # liveness probe: echo the nonce straight back, before the
+            # request path (measures "is the loop alive", costs no plan).
+            # The reply rides the faulted send path on purpose: a wire
+            # fault corrupting it reads as a missed heartbeat, which is
+            # exactly the failure heartbeats exist to detect.
+            self.stats["health_probes"] += 1
+            try:
+                nonce, _, _ = decode_health(payload)
+            except ProtocolError as exc:
+                self.stats["protocol_errors"] += 1
+                await self._send(conn, encode_error(str(exc)), faulted=False)
+                return
+            if self.telemetry is not None:
+                self.telemetry.inc(
+                    "merch_transport_health_probes_total", result="ok"
+                )
+            await self._send(conn, encode_health(nonce, reply=True))
+            return
         try:
             request = decode_request(payload)
         except ProtocolError as exc:
@@ -317,6 +352,24 @@ class PlacementTransportServer:
                 waiters.append(conn)
                 conn.inflight += 1
             return
+        if rid in self._evicted:
+            # a retry outlived its idempotency record: the decision was
+            # evicted from the bounded window, so exactly-once can no
+            # longer be answered from memory -- re-plan, but *loudly*
+            # (silent re-planning here hid double-plans until PR 6)
+            del self._evicted[rid]
+            self.stats["evicted_replans"] += 1
+            self.log.record(
+                "transport.evicted_id_replanned",
+                self.server.clock(),
+                level="warning",
+                request_id=rid,
+                completed_window=self.completed_window,
+            )
+            if self.telemetry is not None:
+                self.telemetry.inc(
+                    "merch_transport_decided_evicted_replans_total"
+                )
         # bounded in-flight window: park the reader until decisions drain
         if conn.inflight >= self.max_inflight:
             self.stats["backpressure_pauses"] += 1
@@ -365,7 +418,14 @@ class PlacementTransportServer:
         self._completed[rid] = decision
         self._completed.move_to_end(rid)
         while len(self._completed) > self.completed_window:
-            self._completed.popitem(last=False)
+            evicted_rid, _ = self._completed.popitem(last=False)
+            self.stats["decided_evictions"] += 1
+            if self.telemetry is not None:
+                self.telemetry.inc("merch_transport_decided_evictions_total")
+            self._evicted[evicted_rid] = None
+            self._evicted.move_to_end(evicted_rid)
+            while len(self._evicted) > self.evicted_window:
+                self._evicted.popitem(last=False)
 
     # ------------------------------------------------------------------
     # reply path (with wire fault injection)

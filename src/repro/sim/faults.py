@@ -183,14 +183,36 @@ class FaultConfig:
     #: per-reply probability the connection dies before any reply bytes
     wire_disconnect_rate: float = 0.0
 
+    # -- cluster faults (sharded control plane) -------------------------
+    #: per-tick probability a router<->coordinator partition window starts
+    #: (lease acquire/renew traffic is lost while the window is open, so
+    #: leases may expire under the shards holding them)
+    partition_rate: float = 0.0
+    #: length of one partition window in virtual seconds
+    partition_duration_s: float = 0.5
+    #: per-shipment probability the replication stream loses its tail
+    #: (the follower falls behind the primary's acknowledged-LSN floor)
+    replication_truncate_rate: float = 0.0
+    #: fraction of a shipment's entries lost when truncation fires
+    replication_truncate_fraction: float = 0.5
+    #: per-renewal probability one lease-renewal message is lost in flight
+    #: (the lease-expiry race: the coordinator reclaims a lease its shard
+    #: still believes it holds)
+    lease_renewal_drop_rate: float = 0.0
+
     # -- crash/kill faults ---------------------------------------------
     #: kill the control plane at the Nth occurrence (1-based) of
     #: ``crash_point``; ``None`` disables crashing.  Unlike the rate-based
     #: faults above, a kill fires exactly once per injector.
     crash_at: int | None = None
     #: where the kill lands: "tick" (top of an engine tick), "mid_batch"
-    #: (half a migration batch copied, the rest lost) or "wal_append"
-    #: (mid-write of a journal record)
+    #: (half a migration batch copied, the rest lost), "wal_append"
+    #: (mid-write of a journal record), "service_batch" (a planning worker
+    #: dies), or one of the cluster shard points -- "shard_pump" (top of a
+    #: shard pump), "shard_mid_epoch" (decisions planned, commit record not
+    #: yet journaled), "shard_post_commit" (epoch committed, replies not
+    #: yet sent) and "shard_lease_renew" (the coordinator applied the
+    #: renewal, the shard died before recording it)
     crash_point: str = "tick"
     #: with ``crash_point="wal_append"``: tear the record being written
     #: (partial bytes on disk) instead of dying just after the write
@@ -220,6 +242,9 @@ class FaultConfig:
                 "wire_corrupt_rate",
                 "wire_stall_rate",
                 "wire_disconnect_rate",
+                "partition_rate",
+                "replication_truncate_rate",
+                "lease_renewal_drop_rate",
             )
         )
 
@@ -243,6 +268,9 @@ class FaultConfig:
                 "wire_corrupt_rate",
                 "wire_stall_rate",
                 "wire_disconnect_rate",
+                "partition_rate",
+                "replication_truncate_rate",
+                "lease_renewal_drop_rate",
             )
         }
         return replace(self, **rates)
@@ -265,6 +293,7 @@ class FaultInjector:
         self._pm_bw_until_s = -math.inf
         self._dram_pressure_until_s = -math.inf
         self._dram_pressure_bytes = 0
+        self._partition_until_s = -math.inf
         self._crash_count = 0
         self._crash_fired = False
 
@@ -275,6 +304,7 @@ class FaultInjector:
         self._pm_bw_until_s = -math.inf
         self._dram_pressure_until_s = -math.inf
         self._dram_pressure_bytes = 0
+        self._partition_until_s = -math.inf
         self._crash_count = 0
         self._crash_fired = False
 
@@ -432,6 +462,60 @@ class FaultInjector:
             self.log.record("fault.wire_disconnect", now)
             return "disconnect"
         return None
+
+    # ------------------------------------------------------------------
+    # cluster (sharded control plane) faults
+    # ------------------------------------------------------------------
+    def coordinator_partition(self, now: float) -> bool:
+        """Whether the router<->coordinator link is partitioned at ``now``.
+
+        Windowed like the environment faults: a partition opens with
+        ``partition_rate`` per consultation and stays open for
+        ``partition_duration_s`` virtual seconds.  While open, lease
+        acquire/renew traffic is lost, so TTL leases can expire under the
+        shards that hold them (which must then degrade to zero quota).
+        """
+        if now <= self._partition_until_s:
+            return True
+        if self._fire(self.config.partition_rate, now):
+            self._partition_until_s = now + self.config.partition_duration_s
+            self.log.record(
+                "fault.coordinator_partition",
+                now,
+                until_s=self._partition_until_s,
+            )
+            return True
+        return False
+
+    def replication_truncation(self, n_entries: int, now: float) -> int:
+        """How many tail entries of one replication shipment are lost.
+
+        Returns 0 (healthy) or a positive count < ``n_entries``; the
+        sender's acknowledged-LSN floor means lost entries are simply
+        re-shipped later, so truncation costs lag, never correctness.
+        """
+        if n_entries <= 0:
+            return 0
+        if not self._fire(self.config.replication_truncate_rate, now):
+            return 0
+        lost = max(1, int(round(self.config.replication_truncate_fraction * n_entries)))
+        lost = min(lost, n_entries)
+        self.log.record(
+            "fault.replication_truncated", now, entries_lost=lost, shipped=n_entries
+        )
+        return lost
+
+    def lease_renewal_lost(self, now: float) -> bool:
+        """Whether one lease-renewal message is dropped in flight.
+
+        The shard keeps believing in its old lease while the coordinator's
+        TTL keeps running -- the lease-expiry race the coordinator resolves
+        by reclaiming on expiry and rejecting stale renewal ids.
+        """
+        if self._fire(self.config.lease_renewal_drop_rate, now):
+            self.log.record("fault.lease_renewal_lost", now)
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # crash/kill faults

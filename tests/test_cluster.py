@@ -1,0 +1,574 @@
+"""Tests for the sharded placement control plane (``repro/service/cluster``).
+
+Covers the consistent-hash ring (determinism, minimal re-routing), the
+TTL quota coordinator (never over-committed, expiry reclamation, the
+stale-renewal race), WAL replication (acked-LSN floor, idempotent
+retransmission, gap/truncation handling), the journaled shard (epoch
+protocol, idempotent decided record, kill points), and router failover
+end to end: kill -> missed heartbeats -> promotion -> warm bit-exact
+replay -> exactly-once answers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common import PAGE_SIZE
+from repro.core.journal import WriteAheadLog
+from repro.core.model import PerformanceModel
+from repro.service import (
+    PlacementRequest,
+    PlacementServer,
+    TaskSpec,
+)
+from repro.service.cluster import (
+    ClusterRouter,
+    ConsistentHashRing,
+    FollowerJournal,
+    LeaseRejected,
+    PlacementShard,
+    QuotaCoordinator,
+    ReplicationError,
+    ReplicationSender,
+    ShardCrashed,
+    ShardDown,
+    decode_repl_append,
+    encode_repl_append,
+)
+from repro.service.protocol import ProtocolError, encode_decision
+from repro.service.transport.framing import encode_frame
+from repro.sim.faults import FaultConfig, FaultInjector
+
+MB = 1 << 20
+
+
+class _OnesCorrelation:
+    events = ("E",)
+    model = None
+
+    def predict(self, pmcs, r):
+        return 1.0
+
+    def predict_batch(self, pmcs, ratios):
+        return np.ones(len(np.asarray(ratios)))
+
+    def predict_stacked(self, pmcs_seq, ratios):
+        return np.ones((len(pmcs_seq), len(np.asarray(ratios))))
+
+
+def spec(tid, size=8 * MB):
+    return TaskSpec(
+        task_id=tid,
+        t_pm_only=30.0,
+        t_dram_only=10.0,
+        total_accesses=1_000_000,
+        pmcs={"E": 1.0},
+        size_bytes=size,
+    )
+
+
+def make_request(rid, tenant="acme", shape=0):
+    tasks = tuple(spec(f"s{shape}:t{i}") for i in range(3))
+    return PlacementRequest(request_id=rid, tenant=tenant, tasks=tasks)
+
+
+def _owner(tenant, n_shards=3, vnodes=32):
+    """Which shard the router (vnodes=32) will route ``tenant`` to --
+    computed up front so kill injectors can target a shard that is
+    guaranteed to receive traffic."""
+    ring = ConsistentHashRing(vnodes=vnodes)
+    for s in range(n_shards):
+        ring.add(f"shard-{s}")
+    return ring.route(tenant)
+
+
+def make_shard(shard_id, coordinator, journal=None, faults=None, **kw):
+    server = PlacementServer(
+        PerformanceModel(_OnesCorrelation()),
+        dram_capacity_bytes=64 * MB,
+        window_s=kw.pop("window_s", 0.0),
+    )
+    return PlacementShard(
+        shard_id,
+        server,
+        coordinator,
+        journal,
+        faults=faults,
+        base_demand_pages=kw.pop("base_demand_pages", 512),
+        **kw,
+    )
+
+
+# ======================================================================
+# consistent hashing
+# ======================================================================
+class TestHashRing:
+    def test_routing_is_deterministic_and_member_only(self):
+        a, b = ConsistentHashRing(), ConsistentHashRing()
+        for node in ("s2", "s0", "s1"):
+            a.add(node)
+        for node in ("s0", "s1", "s2"):  # insertion order must not matter
+            b.add(node)
+        keys = [f"tenant-{i}" for i in range(200)]
+        assert a.assignment(keys) == b.assignment(keys)
+        assert set(a.assignment(keys).values()) <= {"s0", "s1", "s2"}
+
+    def test_removal_only_reroutes_the_lost_shards_tenants(self):
+        ring = ConsistentHashRing()
+        for node in ("s0", "s1", "s2", "s3"):
+            ring.add(node)
+        keys = [f"tenant-{i}" for i in range(500)]
+        before = ring.assignment(keys)
+        ring.remove("s2")
+        after = ring.assignment(keys)
+        moved = [k for k in keys if before[k] != after[k]]
+        # everything that moved was on the removed shard, and nothing
+        # else was shuffled (the warm-cache stability property)
+        assert all(before[k] == "s2" for k in moved)
+        assert all(after[k] != "s2" for k in keys)
+
+    def test_spread_is_roughly_uniform_with_vnodes(self):
+        ring = ConsistentHashRing(vnodes=64)
+        for node in ("s0", "s1", "s2"):
+            ring.add(node)
+        counts = {"s0": 0, "s1": 0, "s2": 0}
+        for i in range(3000):
+            counts[ring.route(f"tenant-{i}")] += 1
+        for n in counts.values():
+            assert 500 < n < 1700  # no shard starves or hogs the ring
+
+    def test_membership_errors(self):
+        ring = ConsistentHashRing()
+        with pytest.raises(LookupError):
+            ring.route("anyone")
+        ring.add("s0")
+        with pytest.raises(ValueError):
+            ring.add("s0")
+        with pytest.raises(KeyError):
+            ring.remove("s9")
+        with pytest.raises(ValueError):
+            ConsistentHashRing(vnodes=0)
+
+
+# ======================================================================
+# quota leases
+# ======================================================================
+class TestQuotaCoordinator:
+    def test_grants_never_exceed_global_quota(self):
+        coord = QuotaCoordinator(1000, ttl_s=1.0)
+        a = coord.acquire("s0", 700, now=0.0)
+        b = coord.acquire("s1", 700, now=0.0)
+        assert a.pages == 700
+        assert b.pages == 300  # clamped to the remainder
+        assert coord.granted_pages(0.0) == 1000
+        c = coord.acquire("s2", 10, now=0.0)
+        assert c.pages == 0  # pool empty, grant degrades to zero
+
+    def test_expired_lease_returns_pages_to_the_pool(self):
+        coord = QuotaCoordinator(1000, ttl_s=0.5)
+        coord.acquire("s0", 800, now=0.0)
+        assert coord.acquire("s1", 800, now=0.1).pages == 200
+        # s0 never renews; past its TTL the pages are re-grantable --
+        # a dead shard can never strand quota
+        lease = coord.acquire("s2", 800, now=1.0)
+        assert lease.pages == 800
+        assert coord.stats["expired"] >= 1
+        assert coord.granted_pages(1.0) <= 1000
+
+    def test_expired_but_unreclaimed_pages_never_double_grant(self):
+        coord = QuotaCoordinator(1000, ttl_s=0.5)
+        coord.acquire("s0", 800, now=0.0)
+        # between expiry (t>0.5) and reclamation, availability counts the
+        # stale lease as held: under-grant, never double-grant
+        assert coord.available_pages(0.7) == 200
+
+    def test_stale_renewal_is_rejected(self):
+        coord = QuotaCoordinator(1000, ttl_s=0.5)
+        old = coord.acquire("s0", 400, now=0.0)
+        coord.expire(1.0)  # TTL ran out, pages reclaimed
+        fresh = coord.acquire("s0", 400, now=1.0)  # re-granted, new id
+        with pytest.raises(LeaseRejected):
+            coord.renew(old, 400, now=1.1)  # the expiry race loses
+        assert coord.stats["rejected"] == 1
+        assert coord.renew(fresh, 400, now=1.1).lease_id == fresh.lease_id
+
+    def test_renewal_resizes_within_headroom(self):
+        coord = QuotaCoordinator(1000, ttl_s=1.0)
+        a = coord.acquire("s0", 600, now=0.0)
+        coord.acquire("s1", 300, now=0.0)
+        grown = coord.renew(a, 2000, now=0.1)
+        assert grown.pages == 700  # 600 + the 100 still free
+        shrunk = coord.renew(grown, 100, now=0.2)
+        assert shrunk.pages == 100
+        assert coord.available_pages(0.2) == 600
+
+    def test_release_and_misc_validation(self):
+        coord = QuotaCoordinator(1000, ttl_s=1.0)
+        lease = coord.acquire("s0", 100, now=0.0)
+        assert coord.release(lease, now=0.1)
+        assert not coord.release(lease, now=0.2)  # already gone
+        with pytest.raises(ValueError):
+            coord.acquire("s1", -1, now=0.0)
+        with pytest.raises(ValueError):
+            QuotaCoordinator(10, ttl_s=0.0)
+
+
+# ======================================================================
+# WAL replication
+# ======================================================================
+def _primary_journal(n=5):
+    journal = WriteAheadLog()
+    for k in range(n):
+        epoch = journal.begin_epoch({"region": k, "time_s": float(k)})
+        journal.commit_epoch(epoch, {"region": k, "time_s": float(k)})
+    return journal
+
+
+class TestReplication:
+    def test_ship_advances_the_acked_floor(self):
+        journal = _primary_journal(3)  # 6 entries
+        sender = ReplicationSender("s0", journal)
+        follower = FollowerJournal("s0")
+        assert sender.ship(follower, now=0.0) == len(journal.entries) - 1
+        assert follower.journal.entries == journal.entries
+        assert sender.lag(follower) == 0
+
+    def test_retransmission_is_idempotent(self):
+        journal = _primary_journal(2)
+        sender = ReplicationSender("s0", journal)
+        follower = FollowerJournal("s0")
+        sender.ship(follower, now=0.0)
+        frame = encode_frame(encode_repl_append("s0", 0, journal.entries[0]))
+        assert follower.receive(frame) == follower.acked_lsn  # re-acked
+        assert follower.stats["retransmits"] == 1
+        assert follower.journal.entries == journal.entries  # no dup applied
+
+    def test_gap_is_refused(self):
+        follower = FollowerJournal("s0")
+        frame = encode_frame(encode_repl_append("s0", 3, "entry"))
+        with pytest.raises(ReplicationError):
+            follower.receive(frame)
+        assert follower.acked_lsn == -1
+        assert follower.stats["gaps"] == 1
+
+    def test_wrong_shard_stream_is_refused(self):
+        follower = FollowerJournal("s0")
+        frame = encode_frame(encode_repl_append("s1", 0, "entry"))
+        with pytest.raises(ReplicationError):
+            follower.receive(frame)
+
+    def test_decode_validates_the_message(self):
+        from repro.service.protocol import PROTOCOL_VERSION
+
+        with pytest.raises(ProtocolError):
+            decode_repl_append({"v": 999, "kind": "repl_append"})
+        with pytest.raises(ProtocolError):
+            decode_repl_append(
+                {
+                    "v": PROTOCOL_VERSION,
+                    "kind": "decision",
+                    "shard": "s",
+                    "lsn": 0,
+                    "entry": "",
+                }
+            )
+
+    def test_truncated_shipment_costs_lag_not_correctness(self):
+        journal = _primary_journal(5)  # 10 entries
+        faults = FaultInjector(
+            FaultConfig(replication_truncate_rate=0.6,
+                        replication_truncate_fraction=0.5),
+            seed=3,
+        )
+        sender = ReplicationSender("s0", journal, faults=faults)
+        follower = FollowerJournal("s0")
+        floors = [sender.ship(follower, now=float(t)) for t in range(30)]
+        # every shipment loses its tail, but floors are monotone and the
+        # stream converges to complete, in-order replication
+        assert floors == sorted(floors)
+        assert follower.acked_lsn == len(journal.entries) - 1
+        assert follower.journal.entries == journal.entries
+        assert sender.stats["lost"] > 0
+
+
+# ======================================================================
+# the journaled shard
+# ======================================================================
+class TestPlacementShard:
+    def test_epoch_protocol_journals_decisions(self):
+        coord = QuotaCoordinator(4096, ttl_s=10.0)
+        shard = make_shard("s0", coord)
+        shard.acquire_lease(now=0.0)
+        assert shard.submit(make_request("r1"), now=0.0) is None
+        decisions = shard.pump(now=0.1)
+        assert [d.request_id for d in decisions] == ["r1"]
+        kinds = [r.kind for r in shard.journal.records()]
+        assert kinds == ["epoch_begin", "epoch_commit"]
+        committed = shard.journal.records()[-1].payload["decisions"]
+        assert committed == [encode_decision(decisions[0])]
+
+    def test_submit_is_idempotent_by_request_id(self):
+        coord = QuotaCoordinator(4096, ttl_s=10.0)
+        shard = make_shard("s0", coord)
+        shard.acquire_lease(now=0.0)
+        shard.submit(make_request("r1"), now=0.0)
+        (first,) = shard.pump(now=0.1)
+        again = shard.submit(make_request("r1"), now=0.2)
+        assert again is first  # answered from the record, never re-planned
+        assert shard.stats["idempotent_replays"] == 1
+
+    def test_expired_lease_degrades_to_zero_grant_answers(self):
+        coord = QuotaCoordinator(4096, ttl_s=0.1)
+        shard = make_shard("s0", coord)
+        shard.acquire_lease(now=0.0)
+        shard.submit(make_request("r1"), now=5.0)  # lease long expired
+        (decision,) = shard.pump(now=5.1)
+        assert decision.dram_pages_granted == 0  # answered, never over-committed
+        assert shard.stats["zero_capacity_pumps"] == 1
+
+    def test_granted_pages_respect_the_lease(self):
+        # lease one task's worth of pages (8 MB): the planner can place
+        # one of the three tasks, never more than the lease
+        coord = QuotaCoordinator(4096, ttl_s=10.0)
+        shard = make_shard("s0", coord, base_demand_pages=2048)
+        lease = shard.acquire_lease(now=0.0)
+        assert lease.pages == 2048
+        shard.submit(make_request("r1"), now=0.0)
+        (decision,) = shard.pump(now=0.1)
+        assert 0 < decision.dram_pages_granted <= lease.pages
+
+    def test_kill_point_fires_once_and_deadens_the_shard(self):
+        coord = QuotaCoordinator(4096, ttl_s=10.0)
+        faults = FaultInjector(
+            FaultConfig(crash_at=1, crash_point="shard_mid_epoch"), seed=1
+        )
+        shard = make_shard("s0", coord, faults=faults)
+        shard.acquire_lease(now=0.0)
+        shard.submit(make_request("r1"), now=0.0)
+        with pytest.raises(ShardCrashed):
+            shard.pump(now=0.1)
+        assert not shard.alive
+        with pytest.raises(ShardDown):
+            shard.submit(make_request("r2"), now=0.2)
+        # mid-epoch death leaves the begun epoch uncommitted
+        kinds = [r.kind for r in shard.journal.records()]
+        assert kinds == ["epoch_begin"]
+
+    def test_lease_renewal_crash_leaves_coordinator_side_renewed(self):
+        coord = QuotaCoordinator(4096, ttl_s=10.0)
+        faults = FaultInjector(
+            FaultConfig(crash_at=1, crash_point="shard_lease_renew"), seed=1
+        )
+        shard = make_shard("s0", coord, faults=faults)
+        old = shard.acquire_lease(now=0.0)
+        with pytest.raises(ShardCrashed):
+            shard.renew_lease(now=0.1)
+        # the coordinator applied the renewal the dead shard never saw;
+        # it is reclaimed by TTL like any other orphan
+        held = coord.leases(0.1)["s0"]
+        assert held.lease_id == old.lease_id
+        assert held.expires_s > old.expires_s
+
+    def test_lost_renewal_message_keeps_the_old_lease(self):
+        coord = QuotaCoordinator(4096, ttl_s=10.0)
+        faults = FaultInjector(
+            FaultConfig(lease_renewal_drop_rate=1.0), seed=1
+        )
+        shard = make_shard("s0", coord, faults=faults)
+        old = shard.acquire_lease(now=0.0)
+        assert shard.renew_lease(now=0.1) is None
+        assert shard.lease is old
+
+
+# ======================================================================
+# router + failover, end to end
+# ======================================================================
+def _build_cluster(n_shards=3, kill=None, env_faults=None, ttl_s=10.0):
+    coord = QuotaCoordinator(4096, ttl_s=ttl_s)
+    kill = dict(kill or {})
+
+    def factory(shard_id, journal):
+        return make_shard(
+            shard_id, coord, journal, faults=kill.pop(shard_id, None)
+        )
+
+    router = ClusterRouter(
+        coord,
+        factory,
+        heartbeat_interval_s=0.01,
+        heartbeat_miss_threshold=2,
+        faults=env_faults,
+    )
+    for s in range(n_shards):
+        router.add_shard(f"shard-{s}", now=0.0)
+    return router, coord
+
+
+def _drive(router, requests, now0=0.0, dt=0.01, ticks=60):
+    """Submit everything, tick the clock, return {rid: [decisions]}."""
+    delivered = {}
+
+    def record(decisions):
+        for d in decisions:
+            delivered.setdefault(d.request_id, []).append(d)
+
+    now = now0
+    pending = list(requests)
+    for t in range(ticks):
+        now = now0 + t * dt
+        for _ in range(min(2, len(pending))):
+            request = pending.pop(0)
+            decision = router.submit(request, now)
+            if decision is not None:
+                record([decision])
+        record(router.tick(now))
+    for _ in range(40):
+        now += dt
+        record(router.tick(now, flush=True))
+        if router.inflight_count() == 0:
+            break
+    return delivered
+
+
+class TestClusterFailover:
+    def test_kill_post_commit_promotes_and_answers_exactly_once(self):
+        kill = {
+            _owner("tenant-0"): FaultInjector(
+                FaultConfig(crash_at=2, crash_point="shard_post_commit"),
+                seed=1,
+            )
+        }
+        router, coord = _build_cluster(kill=kill)
+        requests = [
+            make_request(f"r{i}", tenant=f"tenant-{i % 11}", shape=i % 3)
+            for i in range(40)
+        ]
+        delivered = _drive(router, requests)
+        assert router.stats["promotions"] == 1
+        assert set(delivered) == {r.request_id for r in requests}
+        assert all(len(v) == 1 for v in delivered.values())  # exactly once
+        assert coord.granted_pages(10.0) <= 4096
+
+    def test_promoted_follower_replays_bit_exact(self):
+        # every request on one tenant, so the killed shard is guaranteed
+        # to have committed + replicated decisions before it dies
+        kill = {
+            _owner("acme"): FaultInjector(
+                FaultConfig(crash_at=3, crash_point="shard_pump"), seed=1
+            )
+        }
+        router, _ = _build_cluster(kill=kill)
+        requests = [
+            make_request(f"r{i}", tenant="acme", shape=i % 2)
+            for i in range(30)
+        ]
+        delivered = _drive(router, requests)
+        assert router.stats["promotions"] == 1
+        assert router.stats["replayed_decisions"] > 0
+        # whatever the promoted shard holds for an answered id must be
+        # byte-identical to the answer the dead primary gave
+        checked = 0
+        for shard in router.shards.values():
+            for rid, decision in shard.decided_record().items():
+                if rid in delivered:
+                    checked += 1
+                    assert encode_decision(decision) == encode_decision(
+                        delivered[rid][-1]
+                    )
+        assert checked > 0
+
+    def test_mid_epoch_kill_loses_nothing(self):
+        kill = {
+            _owner("tenant-0"): FaultInjector(
+                FaultConfig(crash_at=1, crash_point="shard_mid_epoch"), seed=1
+            )
+        }
+        router, _ = _build_cluster(kill=kill)
+        requests = [
+            make_request(f"r{i}", tenant=f"tenant-{i % 13}") for i in range(30)
+        ]
+        delivered = _drive(router, requests)
+        assert set(delivered) == {r.request_id for r in requests}
+        assert all(len(v) == 1 for v in delivered.values())
+
+    def test_dead_shard_detected_by_heartbeats_not_requests(self):
+        victim = _owner("tenant-3")
+        kill = {
+            victim: FaultInjector(
+                FaultConfig(crash_at=1, crash_point="shard_pump"), seed=1
+            )
+        }
+        router, _ = _build_cluster(kill=kill)
+        request = make_request("r0", tenant="tenant-3")
+        assert router.shard_for("tenant-3") == victim
+        router.submit(request, 0.0)
+        # no further submits: ticks alone must notice the death & promote
+        delivered = []
+        now = 0.0
+        for t in range(20):
+            now = t * 0.01
+            delivered += router.tick(now)
+        assert router.stats["heartbeat_misses"] >= 1
+        assert router.stats["promotions"] == 1
+        for _ in range(10):
+            now += 0.01
+            delivered += router.tick(now, flush=True)
+        assert [d.request_id for d in delivered] == ["r0"]
+
+    def test_coordinator_partition_degrades_but_never_overcommits(self):
+        # the partition opens at t=0.05 and never heals (leases were
+        # granted at t=0, before it starts)
+        env = FaultInjector(
+            FaultConfig(partition_rate=1.0, partition_duration_s=10.0,
+                        start_s=0.05),
+            seed=2,
+        )
+        router, coord = _build_cluster(env_faults=env, ttl_s=0.05)
+        requests = [
+            make_request(f"r{i}", tenant=f"tenant-{i}") for i in range(20)
+        ]
+        delivered = _drive(router, requests)
+        # the partition silences every renewal; leases expire under the
+        # shards, answers degrade to zero-grant but keep flowing
+        assert set(delivered) == {r.request_id for r in requests}
+        assert coord.stats["expired"] >= 1
+        assert all(
+            coord.granted_pages(t * 0.01) <= 4096 for t in range(100)
+        )
+
+    def test_add_shard_rejects_duplicates(self):
+        router, _ = _build_cluster()
+        with pytest.raises(ValueError):
+            router.add_shard("shard-0", now=0.0)
+
+
+# ======================================================================
+# cluster fault models
+# ======================================================================
+class TestClusterFaultModels:
+    def test_partition_is_windowed(self):
+        inj = FaultInjector(
+            FaultConfig(partition_rate=1.0, partition_duration_s=0.5), seed=1
+        )
+        assert inj.coordinator_partition(0.0)
+        assert inj.coordinator_partition(0.4)  # still inside the window
+        inj2 = FaultInjector(
+            FaultConfig(partition_rate=0.0, partition_duration_s=0.5), seed=1
+        )
+        assert not inj2.coordinator_partition(0.0)
+
+    def test_replication_truncation_bounds(self):
+        inj = FaultInjector(
+            FaultConfig(replication_truncate_rate=1.0,
+                        replication_truncate_fraction=0.5),
+            seed=1,
+        )
+        assert inj.replication_truncation(10, now=0.0) == 5
+        assert inj.replication_truncation(1, now=0.0) == 1  # at least one
+        assert inj.replication_truncation(0, now=0.0) == 0
+
+    def test_cluster_rates_enable_the_injector(self):
+        assert FaultConfig(partition_rate=0.1).any_enabled
+        assert FaultConfig(replication_truncate_rate=0.1).any_enabled
+        assert FaultConfig(lease_renewal_drop_rate=0.1).any_enabled
+        scaled = FaultConfig(partition_rate=0.4).scaled(0.5)
+        assert scaled.partition_rate == pytest.approx(0.2)

@@ -302,3 +302,91 @@ class TestRecoverJournal:
         outcome = recover_journal(wal, t)
         assert outcome.violations
         assert wal.log.count("journal.invariant_violation") >= 1
+
+
+class TestReopenAdversarialTails:
+    """Tails a *replicated* journal can accumulate: retransmitted
+    duplicates, interleaved second writers, torn-then-appended entries."""
+
+    def _journal(self, n_epochs=2):
+        journal = WriteAheadLog()
+        for k in range(n_epochs):
+            epoch = journal.begin_epoch({"region": k, "time_s": float(k)})
+            journal.commit_epoch(epoch, {"region": k, "time_s": float(k)})
+        return journal
+
+    def test_exact_duplicate_lsn_is_dropped(self):
+        journal = self._journal()
+        journal.entries.insert(2, journal.entries[1])  # retransmit slipped in
+        records, torn = journal.reopen()
+        assert not torn
+        assert [r.lsn for r in records] == [0, 1, 2, 3]
+        assert len(journal.entries) == 4
+        assert journal.log.count("journal.duplicate_dropped") == 1
+        # appending continues from the deduplicated sequence
+        epoch = journal.begin_epoch({"region": 9, "time_s": 9.0})
+        journal.commit_epoch(epoch, {"region": 9, "time_s": 9.0})
+        assert [r.lsn for r in journal.records()] == [0, 1, 2, 3, 4, 5]
+
+    def test_interleaved_second_writer_truncates_like_a_tear(self):
+        # writer B's journal (same LSNs, different content) spliced into
+        # writer A's: the regression point is indistinguishable from
+        # corruption, so everything from it on is cut
+        a = self._journal(3)  # LSNs 0..5
+        b = WriteAheadLog()
+        epoch = b.begin_epoch({"region": 77, "time_s": 7.0})
+        b.commit_epoch(epoch, {"region": 77, "time_s": 7.0})  # LSNs 0..1
+        a.entries[4:4] = b.entries  # interleave at LSN 4
+        records, torn = a.reopen()
+        assert torn
+        assert [r.lsn for r in records] == [0, 1, 2, 3]
+        assert all(r.payload.get("region") != 77 for r in records)
+        assert a.log.count("journal.lsn_regression") == 1
+
+    def test_duplicate_lsn_with_different_content_is_a_tear(self):
+        journal = self._journal(2)
+        rogue = _encode(1, "epoch_commit", 0, {"region": 99, "time_s": 9.0})
+        journal.entries.insert(2, rogue)  # same LSN as entry 1, new content
+        records, torn = journal.reopen()
+        assert torn
+        assert [r.lsn for r in records] == [0, 1]
+        assert journal.log.count("journal.lsn_regression") == 1
+
+    def test_torn_tail_then_append_from_a_confused_writer(self):
+        # a crashed writer tore entry 3 mid-write; a later (buggy) writer
+        # appended past the tear without validating -- reopen must cut at
+        # the tear and ignore everything beyond it
+        journal = self._journal(3)  # LSNs 0..5
+        journal.entries[3] = journal.entries[3][: len(journal.entries[3]) // 2]
+        records, torn = journal.reopen()
+        assert torn
+        assert [r.lsn for r in records] == [0, 1, 2]
+        assert len(journal.entries) == 3
+        # the reopened journal appends with the next dense LSN
+        epoch = journal.begin_epoch({"region": 5, "time_s": 5.0})
+        journal.commit_epoch(epoch, {"region": 5, "time_s": 5.0})
+        assert [r.lsn for r in journal.records()] == [0, 1, 2, 3, 4]
+
+    def test_duplicate_then_tear_reports_both(self):
+        journal = self._journal(3)
+        journal.entries.insert(1, journal.entries[0])  # duplicate LSN 0
+        journal.entries[-1] = "garbage that cannot decode"
+        records, torn = journal.reopen()
+        assert torn
+        assert [r.lsn for r in records] == [0, 1, 2, 3, 4]
+        assert journal.log.count("journal.duplicate_dropped") == 1
+
+    def test_recover_journal_survives_an_interleaved_tail(self):
+        # end to end: recovery over an interleaved journal behaves exactly
+        # like recovery over a torn one -- replay stops at the regression
+        t = table()
+        journal = WriteAheadLog()
+        epoch = journal.begin_epoch(begin_payload(t))
+        journal.commit_epoch(epoch, {"region": 0, "time_s": 0.0})
+        rogue = WriteAheadLog()
+        e2 = rogue.begin_epoch({"region": 50, "time_s": 5.0})
+        rogue.commit_epoch(e2, {"region": 50, "time_s": 5.0})
+        journal.entries.extend(rogue.entries)  # LSNs regress at the splice
+        outcome = recover_journal(journal, t)
+        assert outcome.torn_tail
+        assert [r.lsn for r in journal.records()] == [0, 1]

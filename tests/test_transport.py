@@ -531,3 +531,211 @@ class TestSoak:
             for k in ("torn_frame", "corrupt_crc", "stall", "disconnect")
         ) >= 5
         assert sum(out["retries"] for out in results.values()) >= 1
+
+
+# ======================================================================
+# health/heartbeat frames + client liveness probing
+# ======================================================================
+class TestHealthProbes:
+    def test_health_frame_round_trip(self):
+        from repro.service.transport.framing import (
+            decode_health,
+            encode_health,
+            is_health,
+        )
+
+        probe = encode_health(7)
+        assert is_health(probe)
+        assert decode_health(probe) == (7, False, "ok")
+        reply = encode_health(7, reply=True, status="ok")
+        assert decode_health(reply) == (7, True, "ok")
+        frame = encode_frame(reply)  # rides the standard CRC framing
+        assert decode_health(decode_frame(frame)) == (7, True, "ok")
+        assert not is_health({"v": 1, "kind": "request"})
+
+    def test_malformed_health_rejected(self):
+        from repro.service.transport.framing import decode_health
+
+        with pytest.raises(ProtocolError):
+            decode_health({"v": 999, "kind": "health", "nonce": 1})
+        with pytest.raises(ProtocolError):
+            decode_health({"v": 1, "kind": "request", "nonce": 1})
+        with pytest.raises(ProtocolError):
+            decode_health({"v": 1, "kind": "health", "nonce": "not-an-int"})
+
+    def test_probe_against_live_server(self):
+        telemetry = Telemetry()
+        server = make_server()
+        with PlacementTransportServer(server) as transport:
+            with PlacementClient(
+                *transport.address, retry=FAST_RETRY, telemetry=telemetry
+            ) as c:
+                assert c.probe()
+                assert c.probe()
+                # probing and requesting share the connection cleanly
+                assert c.request(make_request("hp-1")).request_id == "hp-1"
+                assert c.probe()
+            assert c.probes_ok == 3 and c.probe_failures == 0
+            assert transport.stats["health_probes"] == 3
+        assert (
+            telemetry.registry.get(
+                "merch_transport_health_probes_total"
+            ).value(result="ok")
+            == 3
+        )
+
+    def test_probe_fails_with_nobody_listening(self):
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        with PlacementClient("127.0.0.1", port, retry=FAST_RETRY) as c:
+            assert not c.probe(timeout_s=0.2)
+        assert c.probe_failures == 1 and c.probes_ok == 0
+
+    def test_probe_fails_under_wire_disconnects(self):
+        # the reply rides the faulted send path: a disconnect fault on the
+        # wire reads as a missed heartbeat at the prober
+        injector = wire_injector(seed=3, wire_disconnect_rate=1.0)
+        server = make_server()
+        with PlacementTransportServer(server, faults=injector) as transport:
+            with PlacementClient(*transport.address, retry=FAST_RETRY) as c:
+                assert not c.probe(timeout_s=0.3)
+        assert c.probe_failures == 1
+        assert injector.log.count("fault.wire_disconnect") >= 1
+
+
+# ======================================================================
+# bounded decided-id record: eviction is detected and loud
+# ======================================================================
+class TestDecidedEviction:
+    def test_eviction_boundary_replans_loudly(self):
+        telemetry = Telemetry()
+        server = make_server()
+        with PlacementTransportServer(
+            server, completed_window=1, telemetry=telemetry
+        ) as transport:
+            with PlacementClient(*transport.address, retry=FAST_RETRY) as c:
+                first = c.request(make_request("ev-1"))
+                c.request(make_request("ev-2"))  # evicts ev-1's record
+                again = c.request(make_request("ev-1"))  # retried after eviction
+            stats = dict(transport.stats)
+            events = list(transport.log.events)
+        # the retry was re-planned (exactly-once can no longer be promised
+        # for an evicted id) -- but it was *detected*, not silent
+        assert server.decided == 3
+        assert stats["decided_evictions"] >= 1
+        assert stats["evicted_replans"] == 1
+        warned = [
+            e for e in events if e.kind == "transport.evicted_id_replanned"
+        ]
+        assert len(warned) == 1
+        assert warned[0].detail["request_id"] == "ev-1"
+        assert warned[0].detail["level"] == "warning"
+        assert (
+            telemetry.registry.get(
+                "merch_transport_decided_evictions_total"
+            ).value()
+            >= 1
+        )
+        assert (
+            telemetry.registry.get(
+                "merch_transport_decided_evicted_replans_total"
+            ).value()
+            == 1
+        )
+        # the answers themselves are still well-formed decisions
+        assert first.request_id == again.request_id == "ev-1"
+
+    def test_unevicted_ids_still_answered_from_the_record(self):
+        server = make_server()
+        with PlacementTransportServer(
+            server, completed_window=8
+        ) as transport:
+            with PlacementClient(*transport.address, retry=FAST_RETRY) as c:
+                first = c.request(make_request("ev-3"))
+                again = c.request(make_request("ev-3"))
+        assert again == first
+        assert server.decided == 1
+        assert transport.stats["evicted_replans"] == 0
+
+    def test_evicted_window_validation(self):
+        server = make_server()
+        with pytest.raises(ValueError):
+            PlacementTransportServer(server, evicted_window=0)
+
+
+# ======================================================================
+# reproducible reconnect jitter (SeedSequence-per-connection)
+# ======================================================================
+class TestBackoffDeterminism:
+    def _sleep_recorder(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", lambda s: sleeps.append(s))
+        return sleeps
+
+    def _dead_port(self):
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        return port
+
+    def test_same_seed_same_backoff_schedule(self, monkeypatch):
+        sleeps = self._sleep_recorder(monkeypatch)
+        port = self._dead_port()
+        retry = RetryPolicy(
+            connect_timeout_s=0.05,
+            request_timeout_s=0.05,
+            max_attempts=5,
+            backoff_base_s=0.01,
+            backoff_cap_s=0.5,
+            jitter=0.25,
+        )
+        schedules = []
+        for _ in range(2):
+            sleeps.clear()
+            with PlacementClient(
+                "127.0.0.1", port, retry=retry, seed=11
+            ) as c:
+                c.request(make_request("bk-1"))  # exhausts every attempt
+            schedules.append(list(sleeps))
+        assert len(schedules[0]) == retry.max_attempts - 1
+        assert schedules[0] == schedules[1]  # identical jitter, same seed
+        assert schedules[0] != sorted(set(schedules[0]))[:1]  # jitter real
+
+    def test_reconnect_respawns_an_aligned_stream(self):
+        # two same-seed clients whose RNGs drift apart mid-connection must
+        # come back into lockstep at the next reconnect: the jitter stream
+        # is a pure function of (seed, connection index, draw index)
+        server = make_server()
+        policy = RetryPolicy(backoff_base_s=0.01, backoff_cap_s=0.5, jitter=0.25)
+        with PlacementTransportServer(server) as transport:
+            a = PlacementClient(*transport.address, retry=FAST_RETRY, seed=11)
+            b = PlacementClient(*transport.address, retry=FAST_RETRY, seed=11)
+            with a, b:
+                assert a.probe() and b.probe()  # connection 1 for both
+                # a's stream drifts: it burns three extra jitter draws
+                for k in (1, 2, 3):
+                    policy.backoff_s(k, a._rng)
+                assert policy.backoff_s(1, a._rng) != policy.backoff_s(
+                    1, b._rng
+                )
+                a.close()
+                b.close()
+                assert a.probe() and b.probe()  # connection 2: respawned
+                assert a.connections == b.connections == 2
+                schedule_a = [policy.backoff_s(k, a._rng) for k in (1, 2, 3)]
+                schedule_b = [policy.backoff_s(k, b._rng) for k in (1, 2, 3)]
+        assert schedule_a == schedule_b  # drift erased by the reconnect
+
+    def test_generator_seed_keeps_legacy_single_stream(self):
+        from repro.common import make_rng
+
+        # a Generator seed opts out of per-connection respawning: the
+        # stream is shared and never reset (old behaviour, still useful
+        # when a caller wants to drive the jitter source directly)
+        c = PlacementClient("127.0.0.1", 1, seed=make_rng(5))
+        assert c._seed_seq is None
+        reference = make_rng(5)
+        assert float(c._rng.uniform()) == float(reference.uniform())
