@@ -354,6 +354,40 @@ METRIC_SPECS: tuple[MetricSpec, ...] = (
         "Entries the follower's acknowledged-LSN floor trails its "
         "primary's journal, sampled after each shipment.",
     ),
+    # -- transport teardown accounting -----------------------------------
+    MetricSpec(
+        "merch_transport_teardown_errors_total", "counter",
+        "Exceptions swallowed (but journaled) on connection-teardown "
+        "paths, by path.",
+        labels=("path",),  # client_close | pump_cancel | conn_close
+    ),
+    # -- flight recorder / replay ----------------------------------------
+    MetricSpec(
+        "merch_replay_records_total", "counter",
+        "Records journaled by the flight recorder, by event (command "
+        "events by name; observational wire events as observed).",
+        labels=("event",),  # request | fire | decision | observed
+    ),
+    MetricSpec(
+        "merch_replay_dropped_records_total", "counter",
+        "Records evicted from a ring-mode flight recorder past its "
+        "capacity.",
+    ),
+    MetricSpec(
+        "merch_replay_flushes_total", "counter",
+        "Explicit flight-recorder durability barriers (flush + fsync).",
+    ),
+    MetricSpec(
+        "merch_replay_replayed_total", "counter",
+        "Recorded decisions compared during deterministic replay, by "
+        "outcome.",
+        labels=("outcome",),  # matched | divergent
+    ),
+    MetricSpec(
+        "merch_replay_gate_violations_total", "counter",
+        "SLO-gate threshold violations, by threshold name.",
+        labels=("threshold",),
+    ),
 )
 
 

@@ -47,6 +47,7 @@ from repro.experiments import (
     observability,
     overhead,
     recovery,
+    replay_gate,
     robustness,
     sensitivity,
     service_load,
@@ -78,6 +79,7 @@ EXPERIMENTS = {
     "service_load": service_load.run,
     "transport_load": transport_load.run,
     "cluster_failover": cluster_failover.run,
+    "replay_gate": replay_gate.run,
 }
 
 #: cheap-first ordering so failures surface early
@@ -101,6 +103,7 @@ DEFAULT_ORDER = (
     "service_load",
     "transport_load",
     "cluster_failover",
+    "replay_gate",
 )
 
 
@@ -235,12 +238,7 @@ def _run_parallel(names: list[str], args) -> tuple[dict, list[str]]:
             # the worker process itself died before returning a payload
             print(job.traceback, file=sys.stderr, end="")
             failed.append(name)
-            results[name] = {
-                "failed": True,
-                "error_type": job.error_type,
-                "error": job.error,
-                "traceback": job.traceback,
-            }
+            results[name] = job.failure_payload()
             print(f"[{name} FAILED in a pool worker]\n")
         if args.json:
             from repro.experiments.export import write_result
@@ -255,8 +253,13 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "experiments",
-        nargs="+",
+        nargs="*",
         help=f"experiment names or 'all'; choices: {', '.join(DEFAULT_ORDER)}",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the registered experiment names and exit",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -292,6 +295,12 @@ def main(argv: list[str] | None = None) -> int:
         "FILE (per-experiment suffixed files when several experiments run)",
     )
     args = parser.parse_args(argv)
+    if args.list:
+        for name in DEFAULT_ORDER:
+            print(name)
+        return 0
+    if not args.experiments:
+        parser.error("no experiments given (or use --list / 'all')")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
 

@@ -1,0 +1,41 @@
+"""Flight recorder, deterministic replay, and shadow A/B backtesting.
+
+The replay subsystem turns the placement service's request traffic into a
+regression harness:
+
+* :mod:`repro.replay.recorder` -- an opt-in tap journaling every
+  request/decision/shed/error envelope as CRC-framed records (the same
+  frame format the wire speaks), in a bounded ring buffer or streamed to
+  a file with an explicit ``flush()`` durability contract;
+* :mod:`repro.replay.replayer` -- rebuilds a server from the recorded
+  config and drives it through the recorded command stream under a
+  virtual clock, comparing every replayed decision bit-for-bit against
+  the recorded one (first divergence reported structurally);
+* :mod:`repro.replay.backtest` -- replays one recording's arrival
+  schedule against incumbent and candidate configs under a deterministic
+  cost model, emitting a side-by-side SLO report;
+* :mod:`repro.replay.gate` -- evaluates a replay + A/B report against the
+  thresholds in ``.github/slo-baseline.json`` (the CI regression gate);
+* :mod:`repro.replay.fixtures` -- records the committed golden traces.
+"""
+
+from repro.replay.backtest import CostModel, backtest
+from repro.replay.config import ServiceConfig, VirtualClock, build_injector, build_server
+from repro.replay.gate import evaluate_gate
+from repro.replay.recorder import FlightRecorder, Recording
+from repro.replay.replayer import Divergence, ReplayReport, replay_recording
+
+__all__ = [
+    "CostModel",
+    "Divergence",
+    "FlightRecorder",
+    "Recording",
+    "ReplayReport",
+    "ServiceConfig",
+    "VirtualClock",
+    "backtest",
+    "build_injector",
+    "build_server",
+    "evaluate_gate",
+    "replay_recording",
+]

@@ -1,0 +1,144 @@
+"""Serializable service configuration for record/replay and backtesting.
+
+A :class:`ServiceConfig` is the frozen, JSON-round-trippable snapshot of
+every knob that shapes a placement decision: DRAM capacity, the batching
+window and step grid, cache geometry, admission watermarks, the batch
+retry budget, and the fault schedule with its seed.  A flight recording
+embeds the config it was captured under (``meta["config"]``), so a replay
+can rebuild an equivalent server, and the A/B backtester derives
+candidate configs from the incumbent with :meth:`ServiceConfig.with_overrides`.
+
+The deliberate omission is the *model*: trained correlation models are
+large and already reproducible from ``(seed, fast)`` via
+:class:`~repro.experiments.common.ExperimentContext`, so recordings store
+``model_seed``/``fast`` in their meta instead of weights.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.service.admission import AdmissionConfig
+from repro.service.cache import PredictionCache
+from repro.service.server import PlacementServer
+from repro.sim.faults import FaultConfig, FaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.model import PerformanceModel
+    from repro.core.telemetry import Telemetry
+    from repro.replay.recorder import FlightRecorder
+
+__all__ = ["ServiceConfig", "VirtualClock", "build_injector", "build_server"]
+
+
+class VirtualClock:
+    """Mutable virtual time source; replayers pin it to recorded stamps."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance_to(self, t: float) -> float:
+        """Move forward to ``t`` (never backwards); returns the new time."""
+        self.now = max(self.now, float(t))
+        return self.now
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything that shapes a placement decision, minus the model."""
+
+    dram_capacity_bytes: int
+    window_s: float = 0.005
+    max_batch: int = 32
+    step: float = 0.05
+    #: prediction-cache entry capacity; 0 disables the cache entirely
+    cache_capacity: int = 0
+    #: entry TTL on the injected clock (``math.inf`` disables expiry)
+    cache_ttl_s: float = math.inf
+    #: admission watermarks (trip / resume)
+    max_queue: int = 64
+    resume_below: int = 16
+    #: planner-crash retries before a batch is shed
+    max_batch_retries: int = 1
+    #: seed of the server-side fault injector (unused when faults is None)
+    fault_seed: int = 0
+    #: :class:`~repro.sim.faults.FaultConfig` keyword overrides; ``None``
+    #: runs fault-free.  Recorded so a replay reproduces e.g. the same
+    #: ``service_batch`` kill schedule.
+    faults: Mapping[str, object] | None = None
+
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        out["faults"] = dict(self.faults) if self.faults is not None else None
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ServiceConfig":
+        known = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in payload.items() if k in known}
+        faults = kwargs.get("faults")
+        if faults is not None:
+            kwargs["faults"] = {str(k): v for k, v in faults.items()}
+        return cls(**kwargs)
+
+    def with_overrides(self, **overrides: object) -> "ServiceConfig":
+        """A candidate config: this one with ``overrides`` applied."""
+        unknown = set(overrides) - {f.name for f in dataclasses.fields(self)}
+        if unknown:
+            raise ValueError(f"unknown ServiceConfig fields: {sorted(unknown)}")
+        return dataclasses.replace(self, **overrides)
+
+
+def build_injector(config: ServiceConfig) -> FaultInjector | None:
+    """The server-side fault injector recorded in ``config`` (or None)."""
+    if config.faults is None:
+        return None
+    return FaultInjector(FaultConfig(**config.faults), seed=config.fault_seed)
+
+
+def build_server(
+    config: ServiceConfig,
+    model: "PerformanceModel",
+    *,
+    clock: Callable[[], float],
+    telemetry: "Telemetry | None" = None,
+    recorder: "FlightRecorder | None" = None,
+) -> PlacementServer:
+    """One :class:`PlacementServer` exactly as ``config`` describes it.
+
+    Shared by the recording side, the replayer, and the backtester, so
+    "the server the recording saw" and "the server the replay drives" can
+    never drift apart structurally.  The cache (when enabled) reads the
+    same injected ``clock`` as the server, which is what makes TTL expiry
+    replayable.
+    """
+    cache = None
+    if config.cache_capacity > 0:
+        cache = PredictionCache(
+            capacity=config.cache_capacity,
+            ttl_s=config.cache_ttl_s,
+            clock=clock,
+            telemetry=telemetry,
+        )
+    return PlacementServer(
+        model,
+        dram_capacity_bytes=config.dram_capacity_bytes,
+        window_s=config.window_s,
+        max_batch=config.max_batch,
+        step=config.step,
+        cache=cache,
+        admission=AdmissionConfig(
+            max_queue=config.max_queue, resume_below=config.resume_below
+        ),
+        telemetry=telemetry,
+        clock=clock,
+        faults=build_injector(config),
+        max_batch_retries=config.max_batch_retries,
+        recorder=recorder,
+    )

@@ -1,0 +1,275 @@
+"""Flight recorder: journal the placement service's envelope stream.
+
+A :class:`FlightRecorder` is an opt-in tap handed to
+:class:`~repro.service.server.PlacementServer` (and, for the wire-level
+view, :class:`~repro.service.transport.netserver.PlacementTransportServer`).
+It journals one record per event:
+
+* ``request``  -- a request entering :meth:`PlacementServer.submit`
+  (the full encoded envelope, before admission touches it);
+* ``fire``     -- a batch-firing command (``pump`` / ``step`` / ``flush``)
+  that found work to do, with the clock reading it ran at;
+* ``decision`` -- every decision the server produced (planned, cached,
+  deduplicated, or shed), as its full encoded envelope;
+* observational events the transport contributes for divergence-report
+  accounting -- ``wire_fault``, ``resubmission``, ``teardown``,
+  ``frame_error`` -- which the replayer deliberately ignores.
+
+``request`` + ``fire`` form a *command journal*: replaying them in order
+against a fresh server under a virtual clock pinned to the recorded
+timestamps reproduces the decision stream bit-for-bit (DESIGN §12).
+
+Records are CRC-framed with the transport's own frame format
+(:mod:`repro.service.transport.framing`), so a recording file is
+tamper-evident and torn tails are detected, not silently truncated.
+
+Two modes:
+
+* **ring** (``path=None``) -- a bounded in-memory ring of the last
+  ``capacity`` records (evictions are counted), for always-on incident
+  capture;
+* **streaming** (``path=...``) -- every record is framed straight to the
+  file; :meth:`flush` is the durability contract: after it returns, all
+  records recorded before the call survive a process kill
+  (``flush()`` + ``fsync()``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+from repro.service.protocol import (
+    PlacementDecision,
+    PlacementRequest,
+    encode_decision,
+    encode_request,
+)
+from repro.service.transport.framing import (
+    DEFAULT_MAX_FRAME,
+    FrameAssembler,
+    FrameTruncated,
+    encode_frame,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.telemetry import Telemetry
+
+__all__ = ["FlightRecorder", "Recording", "RecordingError"]
+
+#: bump on any incompatible change to the record schema
+RECORDING_VERSION = 1
+META_KIND = "replay_meta"
+RECORD_KIND = "replay_record"
+
+#: events that drive the replayer (everything else is observational)
+COMMAND_EVENTS = ("request", "fire", "decision")
+
+
+class RecordingError(ValueError):
+    """A recording file is malformed (wrong kinds, versions, or order)."""
+
+
+class FlightRecorder:
+    """Bounded-ring or streaming journal of service envelopes.
+
+    Thread-safe: the transport records from its event-loop thread while
+    tests and operators read stats from others.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        *,
+        capacity: int = 4096,
+        meta: Mapping[str, object] | None = None,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.meta: dict = {
+            "v": RECORDING_VERSION,
+            "kind": META_KIND,
+            **(dict(meta) if meta else {}),
+        }
+        self.capacity = capacity
+        self.telemetry = telemetry
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._records: list[dict] = []
+        self._fh = None
+        self.path = Path(path) if path is not None else None
+        #: accounting (asserted on by tests)
+        self.recorded = 0
+        self.dropped = 0
+        self.flushes = 0
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "wb")
+            self._fh.write(encode_frame(self.meta))
+
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        return "stream" if self._fh is not None else "ring"
+
+    def record(self, event: str, t: float, **payload: object) -> dict:
+        """Journal one event at clock reading ``t``; returns the record."""
+        with self._lock:
+            rec = {
+                "v": RECORDING_VERSION,
+                "kind": RECORD_KIND,
+                "seq": self._seq,
+                "event": event,
+                "t": float(t),
+                **payload,
+            }
+            self._seq += 1
+            self.recorded += 1
+            if self._fh is not None:
+                self._fh.write(encode_frame(rec))
+            else:
+                self._records.append(rec)
+                if len(self._records) > self.capacity:
+                    self._records.pop(0)
+                    self.dropped += 1
+                    if self.telemetry is not None:
+                        self.telemetry.inc("merch_replay_dropped_records_total")
+        if self.telemetry is not None:
+            label = event if event in COMMAND_EVENTS else "observed"
+            self.telemetry.inc("merch_replay_records_total", event=label)
+        return rec
+
+    # -- command-journal helpers (called by the server's tap) -----------
+    def record_request(self, request: PlacementRequest, t: float) -> None:
+        self.record("request", t, request=encode_request(request))
+
+    def record_fire(self, op: str, t: float) -> None:
+        self.record("fire", t, op=op)
+
+    def record_decision(self, decision: PlacementDecision, t: float) -> None:
+        self.record("decision", t, decision=encode_decision(decision))
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Durability barrier: in streaming mode, every record journaled
+        before this call is on disk (``flush`` + ``fsync``) when it
+        returns.  In ring mode it only bumps the counter (the ring is
+        memory; :meth:`dump` persists it)."""
+        with self._lock:
+            self.flushes += 1
+            if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+        if self.telemetry is not None:
+            self.telemetry.inc("merch_replay_flushes_total")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "FlightRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def records(self) -> list[dict]:
+        """A snapshot of the ring contents (streaming mode holds none)."""
+        with self._lock:
+            return list(self._records)
+
+    def recording(self) -> "Recording":
+        """The ring contents as an in-memory :class:`Recording`."""
+        return Recording(meta=dict(self.meta), records=self.records())
+
+    def dump(self, path: str | os.PathLike) -> Path:
+        """Persist the ring (meta frame first) to ``path``; fsynced."""
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            with open(out, "wb") as fh:
+                fh.write(encode_frame(self.meta))
+                for rec in self._records:
+                    fh.write(encode_frame(rec))
+                fh.flush()
+                os.fsync(fh.fileno())
+        return out
+
+
+@dataclass
+class Recording:
+    """One loaded recording: the meta frame plus its records, in order."""
+
+    meta: dict
+    records: list[dict] = field(default_factory=list)
+
+    @classmethod
+    def load(
+        cls,
+        path: str | os.PathLike,
+        *,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        tolerate_torn_tail: bool = False,
+    ) -> "Recording":
+        """Parse a recording file.
+
+        Strict by default: a torn tail (the recorder was killed mid-frame
+        without reaching its own torn-write point) raises
+        :class:`~repro.service.transport.framing.FrameTruncated`; pass
+        ``tolerate_torn_tail=True`` to keep the complete prefix instead.
+        CRC corruption anywhere raises regardless -- a recording that
+        fails its checksums must never replay silently.
+        """
+        data = Path(path).read_bytes()
+        assembler = FrameAssembler(max_frame)
+        messages = assembler.feed(data)
+        try:
+            assembler.close()
+        except FrameTruncated:
+            if not tolerate_torn_tail:
+                raise
+        if not messages:
+            raise RecordingError(f"{path}: no frames (empty or all torn)")
+        meta, records = messages[0], messages[1:]
+        if meta.get("kind") != META_KIND:
+            raise RecordingError(
+                f"{path}: first frame is {meta.get('kind')!r}, "
+                f"expected {META_KIND!r}"
+            )
+        if meta.get("v") != RECORDING_VERSION:
+            raise RecordingError(
+                f"{path}: recording version {meta.get('v')!r} unsupported "
+                f"(this reader speaks v{RECORDING_VERSION})"
+            )
+        for rec in records:
+            if rec.get("kind") != RECORD_KIND:
+                raise RecordingError(
+                    f"{path}: unexpected frame kind {rec.get('kind')!r} "
+                    f"at seq {rec.get('seq')!r}"
+                )
+        return cls(meta=meta, records=records)
+
+    # -- convenience views ---------------------------------------------
+    def events(self, event: str) -> list[dict]:
+        return [r for r in self.records if r.get("event") == event]
+
+    @property
+    def request_ids(self) -> list[str]:
+        return [r["request"]["request_id"] for r in self.events("request")]
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.events("request"))
+
+    @property
+    def n_decisions(self) -> int:
+        return len(self.events("decision"))

@@ -1,0 +1,277 @@
+"""Deterministic replay with bit-exact divergence detection.
+
+The replayer treats a recording as a **command journal**: it rebuilds a
+fresh server from the recorded :class:`~repro.replay.config.ServiceConfig`
+(same cache geometry, admission watermarks, fault schedule and seed),
+pins a virtual clock to each record's timestamp, and re-issues the exact
+``submit``/``pump``/``step``/``flush`` sequence the original server ran.
+Everything behind :meth:`PlacementServer.submit` is deterministic given
+the op sequence and timestamps, so the replayed decision stream must
+match the recorded one *bit for bit* -- compared as canonical JSON of the
+encoded decisions.
+
+The one excluded field is ``latency_s``: on a wall-clock recording it
+includes real compute time between admission and decision, which a
+virtual-clock replay cannot (and should not) reproduce.  It is timing
+metadata, not part of the decision.
+
+Divergence reporting is structural: the first mismatch names the request,
+the differing field path, expected vs got, and a context snapshot of the
+replay server (cache hit/miss state, admission saturation, queue depth)
+so the upstream cause is diagnosable from the report alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.replay.config import ServiceConfig, VirtualClock, build_server
+from repro.replay.recorder import Recording
+from repro.service.protocol import (
+    PlacementDecision,
+    decode_request,
+    encode_decision,
+    to_json,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.model import PerformanceModel
+    from repro.core.telemetry import Telemetry
+
+__all__ = ["Divergence", "ReplayReport", "replay_recording", "decision_fingerprint"]
+
+#: fields excluded from the bit-exact comparison (timing metadata whose
+#: value depends on the recording-side clock, not on the decision)
+TIMING_FIELDS = ("latency_s",)
+
+_FIRE_OPS = ("pump", "step", "flush")
+
+
+def _strip_timing(decision_payload: Mapping) -> dict:
+    return {k: v for k, v in decision_payload.items() if k not in TIMING_FIELDS}
+
+
+def decision_fingerprint(decision: PlacementDecision | Mapping) -> str:
+    """Canonical JSON of a decision minus timing metadata -- equal strings
+    iff the decisions are bit-exact equivalents."""
+    payload = (
+        decision
+        if isinstance(decision, Mapping)
+        else encode_decision(decision)
+    )
+    return to_json(_strip_timing(payload))
+
+
+def first_field_diff(expected, got, path: str = "") -> tuple[str, object, object]:
+    """(field path, expected, got) of the first structural difference."""
+    if isinstance(expected, Mapping) and isinstance(got, Mapping):
+        for key in sorted(set(expected) | set(got)):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in expected:
+                return (sub, "<absent>", got[key])
+            if key not in got:
+                return (sub, expected[key], "<absent>")
+            if expected[key] != got[key]:
+                return first_field_diff(expected[key], got[key], sub)
+        return (path or "<root>", expected, got)
+    if isinstance(expected, (list, tuple)) and isinstance(got, (list, tuple)):
+        if len(expected) != len(got):
+            return (f"{path}.length", len(expected), len(got))
+        for i, (e, g) in enumerate(zip(expected, got)):
+            if e != g:
+                return first_field_diff(e, g, f"{path}[{i}]")
+        return (path or "<root>", expected, got)
+    return (path or "<root>", expected, got)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first replayed decision that differed from the record."""
+
+    request_id: str
+    field: str
+    expected: object
+    got: object
+    #: replay-server snapshot at detection time (cache/admission/queue)
+    context: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "field": self.field,
+            "expected": self.expected,
+            "got": self.got,
+            "context": self.context,
+        }
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one deterministic replay."""
+
+    requests: int = 0
+    expected_decisions: int = 0
+    replayed_decisions: int = 0
+    matched: int = 0
+    divergent: int = 0
+    #: recorded ids the replay decided fewer times than the record
+    lost_ids: list[str] = field(default_factory=list)
+    #: ids the replay decided more times than the record
+    duplicated_ids: list[str] = field(default_factory=list)
+    #: replayed ids with no recorded decision at all
+    unexpected_ids: list[str] = field(default_factory=list)
+    #: recorded request ids that never reached a replayed decision
+    undecided_ids: list[str] = field(default_factory=list)
+    first_divergence: Divergence | None = None
+
+    @property
+    def lost(self) -> int:
+        return len(self.lost_ids)
+
+    @property
+    def duplicated(self) -> int:
+        return len(self.duplicated_ids)
+
+    def ok(self) -> bool:
+        return (
+            self.divergent == 0
+            and not self.lost_ids
+            and not self.duplicated_ids
+            and not self.unexpected_ids
+            and not self.undecided_ids
+        )
+
+    def to_dict(self, max_ids: int = 20) -> dict:
+        return {
+            "ok": self.ok(),
+            "requests": self.requests,
+            "expected_decisions": self.expected_decisions,
+            "replayed_decisions": self.replayed_decisions,
+            "matched": self.matched,
+            "divergent": self.divergent,
+            "lost": self.lost,
+            "duplicated": self.duplicated,
+            "unexpected": len(self.unexpected_ids),
+            "undecided": len(self.undecided_ids),
+            "lost_ids": self.lost_ids[:max_ids],
+            "duplicated_ids": self.duplicated_ids[:max_ids],
+            "unexpected_ids": self.unexpected_ids[:max_ids],
+            "undecided_ids": self.undecided_ids[:max_ids],
+            "first_divergence": (
+                self.first_divergence.to_dict()
+                if self.first_divergence is not None
+                else None
+            ),
+        }
+
+
+def _context_snapshot(server) -> dict:
+    cache = None
+    if server.cache is not None:
+        cache = {
+            "entries": len(server.cache),
+            "hits": server.cache.hits,
+            "misses": server.cache.misses,
+        }
+    return {
+        "pending_depth": server.scheduler.pending_depth,
+        "decided": server.decided,
+        "admission_saturated": server.admission.saturated,
+        "admission_shed_count": server.admission.shed_count,
+        "cache": cache,
+    }
+
+
+def replay_recording(
+    recording: Recording,
+    model: "PerformanceModel",
+    *,
+    config: ServiceConfig | None = None,
+    telemetry: "Telemetry | None" = None,
+) -> ReplayReport:
+    """Drive a fresh server through ``recording``'s command journal and
+    compare every replayed decision against the recorded one.
+
+    ``config`` overrides the recording's embedded config (used by tests
+    that deliberately replay under a different configuration to watch
+    divergence detection fire); by default the recorded config is used,
+    which is the bit-exact contract.
+    """
+    if config is None:
+        config_payload = recording.meta.get("config")
+        if config_payload is None:
+            raise ValueError(
+                "recording carries no config in its meta and none was given"
+            )
+        config = ServiceConfig.from_dict(config_payload)
+    clock = VirtualClock()
+    server = build_server(config, model, clock=clock, telemetry=telemetry)
+
+    expected: dict[str, list[dict]] = {}
+    replayed: dict[str, list[PlacementDecision]] = {}
+    request_order: list[str] = []
+
+    def collect(decisions) -> None:
+        for dec in decisions:
+            replayed.setdefault(dec.request_id, []).append(dec)
+
+    for rec in recording.records:
+        event = rec.get("event")
+        if event == "request":
+            clock.advance_to(rec["t"])
+            request = decode_request(rec["request"])
+            request_order.append(request.request_id)
+            shed = server.submit(request, now=float(rec["t"]))
+            if shed is not None:
+                collect([shed])
+        elif event == "fire":
+            op = rec.get("op")
+            if op not in _FIRE_OPS:
+                raise ValueError(f"unknown fire op {op!r} at seq {rec.get('seq')}")
+            clock.advance_to(rec["t"])
+            collect(getattr(server, op)(now=float(rec["t"])))
+        elif event == "decision":
+            payload = rec["decision"]
+            expected.setdefault(payload["request_id"], []).append(payload)
+        # observational events (wire_fault/resubmission/teardown/...) are
+        # wire accounting, not commands: the replayer skips them
+
+    report = ReplayReport(
+        requests=len(request_order),
+        expected_decisions=sum(len(v) for v in expected.values()),
+        replayed_decisions=sum(len(v) for v in replayed.values()),
+    )
+    for rid, exp_list in expected.items():
+        got_list = replayed.get(rid, [])
+        for exp_payload, got_dec in zip(exp_list, got_list):
+            got_payload = encode_decision(got_dec)
+            if decision_fingerprint(exp_payload) == decision_fingerprint(got_payload):
+                report.matched += 1
+                if telemetry is not None:
+                    telemetry.inc("merch_replay_replayed_total", outcome="matched")
+            else:
+                report.divergent += 1
+                if telemetry is not None:
+                    telemetry.inc("merch_replay_replayed_total", outcome="divergent")
+                if report.first_divergence is None:
+                    path, e, g = first_field_diff(
+                        _strip_timing(exp_payload), _strip_timing(got_payload)
+                    )
+                    report.first_divergence = Divergence(
+                        request_id=rid,
+                        field=path,
+                        expected=e,
+                        got=g,
+                        context=_context_snapshot(server),
+                    )
+        if len(got_list) < len(exp_list):
+            report.lost_ids.append(rid)
+        elif len(got_list) > len(exp_list):
+            report.duplicated_ids.append(rid)
+    for rid, got_list in replayed.items():
+        if rid not in expected:
+            report.unexpected_ids.append(rid)
+    decided = set(replayed)
+    report.undecided_ids = [rid for rid in request_order if rid not in decided]
+    return report

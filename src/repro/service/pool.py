@@ -49,6 +49,19 @@ class JobResult:
     error: str = ""
     traceback: str = ""
 
+    def failure_payload(self) -> dict:
+        """The failure in the runner's canonical shape
+        (``{"failed", "error_type", "error", "traceback"}``), so pool
+        deaths and in-experiment exceptions serialize identically."""
+        if self.ok:
+            raise ValueError("failure_payload() on a successful JobResult")
+        return {
+            "failed": True,
+            "error_type": self.error_type,
+            "error": self.error,
+            "traceback": self.traceback,
+        }
+
 
 def _guarded(fn: Callable, index: int, args: tuple) -> JobResult:
     import traceback as _traceback

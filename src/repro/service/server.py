@@ -45,6 +45,7 @@ from repro.service.scheduler import BatchScheduler, PendingRequest
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.model import PerformanceModel
     from repro.core.telemetry import Telemetry
+    from repro.replay.recorder import FlightRecorder
     from repro.sim.faults import FaultInjector
 
 __all__ = ["PlacementServer", "WorkerCrashed"]
@@ -71,6 +72,7 @@ class PlacementServer:
         clock: Callable[[], float] | None = None,
         faults: "FaultInjector | None" = None,
         max_batch_retries: int = 1,
+        recorder: "FlightRecorder | None" = None,
     ) -> None:
         self.clock = clock or time.monotonic
         self.telemetry = telemetry
@@ -91,6 +93,9 @@ class PlacementServer:
         self.pool = pool
         self.faults = faults
         self.max_batch_retries = max_batch_retries
+        #: opt-in flight recorder journaling the command stream
+        #: (request/fire/decision) for deterministic replay
+        self.recorder = recorder
         #: requests accepted / decided (the never-lost invariant is
         #: ``submitted == decided`` once the queue is drained)
         self.submitted = 0
@@ -112,6 +117,8 @@ class PlacementServer:
         """
         now = self.clock() if now is None else now
         self.submitted += 1
+        if self.recorder is not None:
+            self.recorder.record_request(request, now)
         if not self.admission.admit(self.scheduler.pending_depth, now):
             decision = self._daemon_decision(request)
             self._finish([decision], now)
@@ -126,6 +133,8 @@ class PlacementServer:
     def pump(self, now: float | None = None) -> list[PlacementDecision]:
         """Fire every batch due at ``now``; returns their decisions."""
         now = self.clock() if now is None else now
+        if self.recorder is not None and self.scheduler.due(now):
+            self.recorder.record_fire("pump", now)
         batches: list[list[PendingRequest]] = []
         while self.scheduler.due(now):
             batches.append(self.scheduler.take_batch())
@@ -141,11 +150,15 @@ class PlacementServer:
         now = self.clock() if now is None else now
         if not self.scheduler.pending_depth:
             return []
+        if self.recorder is not None:
+            self.recorder.record_fire("step", now)
         return self._execute([self.scheduler.take_batch()], now)
 
     def flush(self, now: float | None = None) -> list[PlacementDecision]:
         """Fire everything still pending, window elapsed or not."""
         now = self.clock() if now is None else now
+        if self.recorder is not None and self.scheduler.pending_depth:
+            self.recorder.record_fire("flush", now)
         batches: list[list[PendingRequest]] = []
         while self.scheduler.pending_depth:
             batches.append(self.scheduler.take_batch())
@@ -274,6 +287,9 @@ class PlacementServer:
 
     def _finish(self, decisions: list[PlacementDecision], now: float) -> None:
         self.decided += len(decisions)
+        if self.recorder is not None:
+            for dec in decisions:
+                self.recorder.record_decision(dec, now)
         if self.telemetry is None:
             return
         for dec in decisions:

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.common import make_rng
+from repro.sim.faults import RobustnessLog
 from repro.service.protocol import (
     PlacementDecision,
     PlacementRequest,
@@ -137,6 +138,7 @@ class PlacementClient:
         self._sock: socket.socket | None = None
         self._assembler: FrameAssembler | None = None
         self._probe_nonce = 0
+        self.log = RobustnessLog()
         #: resilience accounting (asserted on by the chaos tests)
         self.retries = 0
         self.fallbacks = 0
@@ -156,8 +158,21 @@ class PlacementClient:
         if self._sock is not None:
             try:
                 self._sock.close()
-            except OSError:
-                pass
+            except OSError as exc:
+                # survivable teardown failure: counted, never silent
+                self.log.record(
+                    "transport.teardown_swallowed",
+                    time.monotonic(),
+                    level="debug",
+                    path="client_close",
+                    error_type=type(exc).__name__,
+                    error=str(exc),
+                )
+                if self.telemetry is not None:
+                    self.telemetry.inc(
+                        "merch_transport_teardown_errors_total",
+                        path="client_close",
+                    )
         self._sock = None
         self._assembler = None
 

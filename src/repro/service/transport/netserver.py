@@ -66,6 +66,7 @@ from repro.sim.faults import RobustnessLog
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.telemetry import Telemetry
+    from repro.replay.recorder import FlightRecorder
     from repro.sim.faults import FaultInjector
 
 __all__ = ["PlacementTransportServer"]
@@ -110,6 +111,7 @@ class PlacementTransportServer:
         evicted_window: int = 65536,
         telemetry: "Telemetry | None" = None,
         faults: "FaultInjector | None" = None,
+        recorder: "FlightRecorder | None" = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
@@ -132,6 +134,11 @@ class PlacementTransportServer:
         self.evicted_window = evicted_window
         self.telemetry = telemetry
         self.faults = faults
+        #: flight recorder for *observational* wire events (wire faults,
+        #: resubmissions, teardown swallows).  Defaults to the wrapped
+        #: server's recorder so one tap captures both layers; the command
+        #: journal itself is written by the server.
+        self.recorder = recorder if recorder is not None else server.recorder
         self.log = RobustnessLog()
         #: request id -> connections waiting on its decision
         self._waiters: dict[str, list[_Connection]] = {}
@@ -160,7 +167,36 @@ class PlacementTransportServer:
             "health_probes": 0,
             "decided_evictions": 0,
             "evicted_replans": 0,
+            "teardown_errors": 0,
         }
+
+    # ------------------------------------------------------------------
+    # observability helpers
+    # ------------------------------------------------------------------
+    def _observe(self, event: str, **payload: object) -> None:
+        """Journal an observational wire event (ignored by the replayer,
+        but it lets divergence reports account for torn connections,
+        injected faults, and retries instead of losing them)."""
+        if self.recorder is not None:
+            self.recorder.record(event, self.server.clock(), **payload)
+
+    def _teardown_error(self, path: str, exc: BaseException) -> None:
+        """A teardown-path exception we deliberately survive: counted and
+        journaled at debug level, never silently swallowed."""
+        self.stats["teardown_errors"] += 1
+        self.log.record(
+            "transport.teardown_swallowed",
+            self.server.clock(),
+            level="debug",
+            path=path,
+            error_type=type(exc).__name__,
+            error=str(exc),
+        )
+        if self.telemetry is not None:
+            self.telemetry.inc(
+                "merch_transport_teardown_errors_total", path=path
+            )
+        self._observe("teardown", path=path, error_type=type(exc).__name__)
 
     # ------------------------------------------------------------------
     # lifecycle (async core + thread wrapper)
@@ -188,8 +224,10 @@ class PlacementTransportServer:
             self._pump_task.cancel()
             try:
                 await self._pump_task
-            except asyncio.CancelledError:
-                pass
+            except asyncio.CancelledError as exc:
+                # expected cancellation, but journaled: a divergence report
+                # must be able to account for a pump loop torn down mid-batch
+                self._teardown_error("pump_cancel", exc)
             self._pump_task = None
         if self._asyncio_server is not None:
             self._asyncio_server.close()
@@ -341,6 +379,7 @@ class PlacementTransportServer:
         if done is not None:
             # idempotent resubmission: answer from the record, never re-plan
             self.stats["resubmissions"] += 1
+            self._observe("resubmission", request_id=rid, source="completed")
             await self._send_decision(conn, done)
             return
         waiters = self._waiters.get(rid)
@@ -348,6 +387,7 @@ class PlacementTransportServer:
             # in flight already (a retry raced the decision): register
             # interest; the pump loop will fan the one decision out
             self.stats["resubmissions"] += 1
+            self._observe("resubmission", request_id=rid, source="inflight")
             if conn not in waiters:
                 waiters.append(conn)
                 conn.inflight += 1
@@ -444,6 +484,12 @@ class PlacementTransportServer:
             action = None
             if faulted and self.faults is not None:
                 action = self.faults.wire_fault(self.server.clock())
+            if action is not None:
+                self._observe(
+                    "wire_fault",
+                    action=action,
+                    request_id=message.get("request_id"),
+                )
             if action == "stall":
                 await asyncio.sleep(self.faults.config.wire_stall_s)
             elif action == "disconnect":
@@ -485,5 +531,5 @@ class PlacementTransportServer:
         try:
             conn.writer.close()
             await conn.writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+        except (ConnectionError, OSError) as exc:
+            self._teardown_error("conn_close", exc)

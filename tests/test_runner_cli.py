@@ -16,7 +16,7 @@ class TestRegistry:
                      "fig7", "table3", "table4", "overhead", "ablation",
                      "extensibility", "sensitivity", "robustness",
                      "recovery", "observability", "service_load",
-                     "transport_load"):
+                     "transport_load", "cluster_failover", "replay_gate"):
             assert name in runner.EXPERIMENTS
 
 
@@ -41,6 +41,18 @@ class TestCli:
         assert "valid choices" in err
         for name in runner.DEFAULT_ORDER:
             assert name in err
+
+    def test_list_prints_registry_and_exits_zero(self, capsys):
+        assert runner.main(["--list"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines == list(runner.DEFAULT_ORDER)
+        assert "replay_gate" in lines
+
+    def test_no_experiments_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main([])
+        assert excinfo.value.code != 0
+        assert "--list" in capsys.readouterr().err
 
     def test_metrics_and_trace_out(self, tmp_path, capsys):
         from repro.core.telemetry import parse_exposition

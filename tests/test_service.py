@@ -558,6 +558,31 @@ class TestWorkerPool:
         assert failed.error_type == "ValueError"
         assert "bad item 2" in failed.traceback
 
+    def test_failure_payload_matches_runner_shape(self):
+        """JobResult.failure_payload() must normalise to the exact shape the
+        experiment runner emits for in-experiment failures, so a pool-worker
+        death and an experiment exception are indistinguishable downstream."""
+        from repro.experiments.runner import _failure_payload
+
+        with WorkerPool(workers=2, mode="thread") as pool:
+            failed = pool.map(_fail_on_two, [2])[0]
+        payload = failed.failure_payload()
+        try:
+            raise ValueError("bad item 2")
+        except ValueError as exc:
+            reference = _failure_payload(exc)
+        assert set(payload) == set(reference)
+        assert payload["failed"] is True
+        assert payload["error_type"] == "ValueError"
+        assert "bad item 2" in payload["error"]
+        assert "bad item 2" in payload["traceback"]
+
+    def test_failure_payload_requires_a_failure(self):
+        with WorkerPool(workers=1, mode="serial") as pool:
+            ok = pool.map(_double, [1])[0]
+        with pytest.raises(ValueError):
+            ok.failure_payload()
+
     def test_map_values_reraises_first_failure(self):
         with WorkerPool(workers=2, mode="thread") as pool:
             with pytest.raises(RuntimeError, match="bad item 2"):
