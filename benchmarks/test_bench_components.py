@@ -4,7 +4,19 @@ Unlike the figure/table benchmarks (single-shot experiment regenerations),
 these run multiple rounds and track the hot paths a downstream user would
 care about: the engine's simulation throughput, Algorithm 1's planning
 latency, one Equation-2 prediction, and model training.
+
+The ``test_kernel_speedup_*`` benchmarks at the bottom pin the vectorized
+kernels (PERFORMANCE.md) against their ``MERCH_SCALAR_KERNELS`` reference
+implementations and record the measured ratios in
+``results/kernel_speedups.json``.  The plan/predict kernels carry a >= 10x
+acceptance floor; the sim-tick kernel is pinned at its honest (smaller)
+ratio, since per-tick cost is dominated by the breakdown objects both
+paths must build.
 """
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -19,6 +31,7 @@ from repro.core.planner import greedy_plan, optimal_quotas
 from repro.ml import GradientBoostedRegressor
 from repro.sim import Engine, MachineModel, optane_hm_config
 from repro.sim.counters import collect_pmcs
+from repro.sim.kernels import BreakdownKernel
 
 HM = optane_hm_config()
 MODEL = MachineModel()
@@ -123,3 +136,115 @@ def test_bench_gbr_fit(benchmark):
         iterations=1,
     )
     assert model.trees_
+
+
+# ---------------------------------------------------------------------------
+# Kernel vs scalar-reference speedups (PERFORMANCE.md acceptance numbers)
+# ---------------------------------------------------------------------------
+
+_SPEEDUPS_PATH = Path(__file__).resolve().parent.parent / "results" / "kernel_speedups.json"
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _record_speedup(monkeypatch, name, shape, scalar_fn, kernel_fn, floor,
+                    scalar_rounds=3, kernel_rounds=7):
+    """Time both paths, assert the floor, and persist the measured entry."""
+    monkeypatch.setenv("MERCH_SCALAR_KERNELS", "1")
+    scalar_s = _best_of(scalar_fn, scalar_rounds)
+    monkeypatch.setenv("MERCH_SCALAR_KERNELS", "0")
+    kernel_fn()  # warm any pack caches outside the timed region
+    kernel_s = _best_of(kernel_fn, kernel_rounds)
+    speedup = scalar_s / kernel_s
+
+    entries = {}
+    if _SPEEDUPS_PATH.exists():
+        entries = json.loads(_SPEEDUPS_PATH.read_text())
+    entries[name] = {
+        "shape": shape,
+        "scalar_ms": round(scalar_s * 1e3, 3),
+        "kernel_ms": round(kernel_s * 1e3, 3),
+        "speedup_x": round(speedup, 1),
+        "accept_floor_x": floor,
+    }
+    _SPEEDUPS_PATH.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")
+    assert speedup >= floor, (
+        f"{name}: {speedup:.1f}x < the {floor}x acceptance floor "
+        f"(scalar {scalar_s * 1e3:.1f} ms, kernel {kernel_s * 1e3:.2f} ms)"
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted_gbr():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(600, 21))
+    y = np.sin(X[:, 0]) + X[:, -1]
+    return GradientBoostedRegressor(n_estimators=100, rng=1).fit(X, y)
+
+
+def test_kernel_speedup_tree_batch_eval(monkeypatch, fitted_gbr):
+    """One CART tree over 20k rows: cursor descent vs per-row node walk."""
+    tree = fitted_gbr.trees_[0]
+    Xq = np.random.default_rng(3).normal(size=(20_000, 21))
+    _record_speedup(
+        monkeypatch, "tree_batch_eval", "1 tree x 20000 rows",
+        lambda: tree.predict(Xq), lambda: tree.predict(Xq), floor=10.0,
+    )
+
+
+def test_kernel_speedup_forest_batch_eval(monkeypatch, fitted_gbr):
+    """The whole GBR ensemble: forest cursor matrix vs per-tree loop."""
+    Xq = np.random.default_rng(4).normal(size=(2_000, 21))
+    _record_speedup(
+        monkeypatch, "forest_batch_eval", "100 trees x 2000 rows",
+        lambda: fitted_gbr.predict(Xq), lambda: fitted_gbr.predict(Xq), floor=10.0,
+    )
+
+
+def test_kernel_speedup_correlation_stacked(monkeypatch, ctx, planner_inputs):
+    """Stacked f(.) for a 12-task batch over the 21-point ratio grid."""
+    _, tasks, _ = planner_inputs
+    corr = ctx.system.correlation
+    pmcs_seq = [t.pmcs for t in tasks] * 2  # 24 counter sets
+    ratios = np.linspace(0.0, 1.0, 21)
+    _record_speedup(
+        monkeypatch, "correlation_stacked", "24 tasks x 21 ratios",
+        lambda: corr.predict_stacked(pmcs_seq, ratios),
+        lambda: corr.predict_stacked(pmcs_seq, ratios), floor=10.0,
+    )
+
+
+def test_kernel_speedup_greedy_plan(monkeypatch, planner_inputs):
+    """Algorithm 1 end to end (grids + greedy rounds + clamp)."""
+    model, tasks, task_bytes = planner_inputs
+    cap = HM.dram.capacity_bytes
+    _record_speedup(
+        monkeypatch, "greedy_plan", "12 tasks, 5% grid",
+        lambda: greedy_plan(tasks, model, cap, task_bytes),
+        lambda: greedy_plan(tasks, model, cap, task_bytes), floor=10.0,
+    )
+
+
+def test_kernel_speedup_sim_tick(monkeypatch):
+    """Per-tick breakdowns for a 96-instance region: batched vs per-instance.
+
+    Both paths must materialise 96 TimeBreakdown objects, which bounds the
+    achievable ratio -- the honest number is pinned, not inflated.
+    """
+    fps = [(f"t{i}", s.footprint()) for i, s in enumerate(generate_corpus(96, seed=11))]
+    kern = BreakdownKernel(MODEL, HM, fps)
+    fractions = {a.obj: 0.5 for _, fp in fps for a in fp.accesses}
+    ids = [tid for tid, _ in fps]
+    _record_speedup(
+        monkeypatch, "sim_tick_breakdown", "96 instances",
+        lambda: [MODEL.breakdown(fp, HM, fractions) for _, fp in fps],
+        lambda: kern.breakdown_batch(ids, fractions), floor=1.5,
+        scalar_rounds=5, kernel_rounds=10,
+    )

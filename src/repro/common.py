@@ -10,6 +10,7 @@ reproducible.
 from __future__ import annotations
 
 import enum
+import os
 from typing import Union
 
 import numpy as np
@@ -24,7 +25,53 @@ __all__ = [
     "make_rng",
     "spawn_rng",
     "zipf_weights",
+    "scalar_kernels_enabled",
 ]
+
+#: Floor version for numpy (also declared in pyproject.toml).  The batched
+#: kernels (PERFORMANCE.md) rely on ordered ``np.add.at`` accumulation,
+#: stable argsort kinds, and ``np.random.Generator.spawn`` -- all present
+#: well before this floor, which simply matches the declared dependency.
+NUMPY_FLOOR = (1, 23)
+
+
+def _check_numpy_capabilities() -> None:
+    """Import-time capability check with an actionable error message.
+
+    The vectorized plan/predict kernels need a real numpy (not a stub) at
+    or above the declared floor.  Failing fast here beats a cryptic
+    AttributeError deep inside a kernel.
+    """
+    version = getattr(np, "__version__", "0")
+    try:
+        parts = tuple(int(p) for p in version.split(".")[:2])
+    except ValueError:  # pragma: no cover - exotic dev builds ("2.x.dev0")
+        parts = NUMPY_FLOOR
+    problems = []
+    if parts < NUMPY_FLOOR:
+        problems.append(
+            f"numpy {version} is older than the declared floor "
+            f"{'.'.join(map(str, NUMPY_FLOOR))}"
+        )
+    for attr in ("add", "random", "argsort"):
+        if not hasattr(np, attr):
+            problems.append(f"numpy is missing `np.{attr}` (stubbed install?)")
+    if hasattr(np, "add") and not hasattr(np.add, "at"):
+        problems.append(
+            "numpy lacks `np.add.at` (ordered scatter-add), required for "
+            "bit-identical batched kernels"
+        )
+    if problems:
+        raise ImportError(
+            "repro's vectorized kernels cannot run on this numpy: "
+            + "; ".join(problems)
+            + ". Install `numpy>="
+            + ".".join(map(str, NUMPY_FLOOR))
+            + "` (see pyproject.toml and PERFORMANCE.md)."
+        )
+
+
+_check_numpy_capabilities()
 
 #: Size of a memory page in bytes (4 KiB, matching Linux / the paper).
 PAGE_SIZE: int = 4096
@@ -65,6 +112,26 @@ class AccessPattern(str, enum.Enum):
 
 
 SeedLike = Union[int, None, np.random.Generator]
+
+
+def scalar_kernels_enabled() -> bool:
+    """Whether the ``MERCH_SCALAR_KERNELS`` escape hatch is armed.
+
+    When the environment variable is set to ``1``/``true``/``yes``/``on``,
+    every dispatch point that normally runs a batched numpy kernel (GBR
+    forest evaluation, stacked correlation features, the array-native
+    planner, the sim engine's batched tick breakdowns) falls back to the
+    reference scalar implementation.  The two paths are bit-identical by
+    contract (PERFORMANCE.md documents the float-ordering rules that keep
+    them so; ``tests/test_kernels.py`` enforces it), so the hatch exists
+    for differential testing and for bisecting kernel regressions -- not
+    for correctness workarounds.
+
+    Read per call, so tests can flip it with ``monkeypatch.setenv``.
+    """
+    return os.environ.get("MERCH_SCALAR_KERNELS", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
 
 
 def make_rng(seed: SeedLike = None) -> np.random.Generator:

@@ -14,6 +14,13 @@ task's accesses are evenly distributed over its pages:
 For the ablation study we also implement the makespan-optimal allocation
 under the same model and 5 % discretisation (:func:`optimal_quotas`, by
 bisection on the makespan), so the greedy's gap to optimum is measurable.
+
+Each planner has two implementations that produce bit-identical plans
+(PERFORMANCE.md documents the float-ordering rules; ``tests/test_kernels.py``
+enforces identity): an array-native kernel whose per-round argmax /
+second-max / pages-used updates are numpy reductions over flat task arrays,
+and a dict-based scalar reference selected by the ``MERCH_SCALAR_KERNELS``
+escape hatch.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.common import PAGE_SIZE
+from repro.common import PAGE_SIZE, scalar_kernels_enabled
 from repro.core.model import PerformanceModel, TaskModelInputs
 
 __all__ = ["TaskQuota", "PlanResult", "greedy_plan", "optimal_quotas", "throughput_plan"]
@@ -64,6 +71,21 @@ def _pages_for(task_pages: int, r: float) -> int:
     return int(np.ceil(task_pages * min(max(r, 0.0), 1.0)))
 
 
+def _step_levels(step: float) -> np.ndarray:
+    levels = np.round(np.arange(0.0, 1.0 + step / 2, step), 10)
+    levels[-1] = min(levels[-1], 1.0)
+    return levels
+
+
+def _task_pages_map(
+    tasks: Sequence[TaskModelInputs], task_bytes: Mapping[str, int]
+) -> dict[str, int]:
+    return {
+        t.task_id: max(1, int(np.ceil(task_bytes[t.task_id] / PAGE_SIZE)))
+        for t in tasks
+    }
+
+
 def greedy_plan(
     tasks: Sequence[TaskModelInputs],
     model: PerformanceModel,
@@ -88,22 +110,45 @@ def greedy_plan(
         raise ValueError("no tasks to plan for")
     if not 0.0 < step <= 1.0:
         raise ValueError("step must be in (0, 1]")
-    capacity_pages = dram_capacity_bytes // PAGE_SIZE
-    task_pages = {
-        t.task_id: max(1, int(np.ceil(task_bytes[t.task_id] / PAGE_SIZE)))
-        for t in tasks
-    }
 
-    # precompute every task's predicted time on the 5% ratio grid with one
-    # stacked model call per task (Algorithm 1 only ever visits grid points)
-    levels = np.round(np.arange(0.0, 1.0 + step / 2, step), 10)
-    levels[-1] = min(levels[-1], 1.0)
+    # precompute every task's predicted time on the 5% ratio grid
+    # (Algorithm 1 only ever visits grid points): the kernel path prices
+    # the whole task set with ONE stacked model call, the scalar path with
+    # one stacked call per task.  Both constructions are bit-identical
+    # (the batching contract, tests/test_kernels.py), so the planners
+    # still agree bit for bit.
+    levels = _step_levels(step)
+    use_scalar = scalar_kernels_enabled()
     if grids is None:
-        grid = {t.task_id: model.ratio_grid(t, levels) for t in tasks}
+        if use_scalar:
+            grid = {t.task_id: model.ratio_grid(t, levels) for t in tasks}
+        else:
+            grid = model.ratio_grids(tasks, levels)
     else:
         grid = {t.task_id: grids[t.task_id] for t in tasks}
         if any(len(g) != len(levels) for g in grid.values()):
             raise ValueError("precomputed grids do not match the step grid")
+
+    if use_scalar:
+        return _greedy_plan_scalar(
+            tasks, dram_capacity_bytes, task_bytes, step, levels, grid
+        )
+    return _greedy_plan_kernel(
+        tasks, dram_capacity_bytes, task_bytes, step, levels, grid
+    )
+
+
+def _greedy_plan_scalar(
+    tasks: Sequence[TaskModelInputs],
+    dram_capacity_bytes: int,
+    task_bytes: Mapping[str, int],
+    step: float,
+    levels: np.ndarray,
+    grid: Mapping[str, np.ndarray],
+) -> PlanResult:
+    """Reference dict-based Algorithm 1 (the pre-kernel implementation)."""
+    capacity_pages = dram_capacity_bytes // PAGE_SIZE
+    task_pages = _task_pages_map(tasks, task_bytes)
     by_id = {t.task_id: t for t in tasks}
 
     def level_index(value: float) -> int:
@@ -172,6 +217,119 @@ def greedy_plan(
     )
 
 
+def _greedy_plan_kernel(
+    tasks: Sequence[TaskModelInputs],
+    dram_capacity_bytes: int,
+    task_bytes: Mapping[str, int],
+    step: float,
+    levels: np.ndarray,
+    grid: Mapping[str, np.ndarray],
+) -> PlanResult:
+    """Array-native Algorithm 1 (PERFORMANCE.md, "greedy_plan").
+
+    Task state lives in flat arrays indexed by input position (the scalar
+    path's dict insertion order).  Per round, the longest task is a masked
+    ``np.argmax`` (first-max, like Python ``max``), the barrier is a masked
+    ``np.max`` (order-independent for float max), and pages-used is one
+    ceil/clip/sum reduction.  The inner growth walk stays a tiny Python
+    loop because the scalar path accumulates ``r_i`` as a *sequential*
+    float sum (``min(1.0, r_i + step)`` is not ``k * step`` in floats) --
+    at most ``len(levels)`` iterations, it is never the bottleneck.
+    """
+    capacity_pages = dram_capacity_bytes // PAGE_SIZE
+    n = len(tasks)
+    ids = [t.task_id for t in tasks]
+    pages_arr = np.array(
+        [max(1, int(np.ceil(task_bytes[t.task_id] / PAGE_SIZE))) for t in tasks],
+        dtype=np.int64,
+    )
+    grid_mat = np.vstack([np.asarray(grid[t.task_id], dtype=np.float64) for t in tasks])
+    n_levels = len(levels)
+
+    def level_index(value: float) -> int:
+        return int(np.clip(round(value / step), 0, n_levels - 1))
+
+    r_arr = np.zeros(n, dtype=np.float64)
+    d_pred = np.array([t.t_pm_only for t in tasks], dtype=np.float64)
+    alive = np.ones(n, dtype=bool)  # not saturated
+    rounds = 0
+
+    # per-task page counts are maintained incrementally: integer adds are
+    # exact, so tracking the sum equals re-summing the whole array (what
+    # the scalar path's pages_used() does) at every probe
+    page_counts = np.zeros(n, dtype=np.int64)
+    used = 0
+
+    def set_quota(i: int, r_new: float) -> None:
+        nonlocal used
+        pc = _pages_for(int(pages_arr[i]), r_new)
+        used += pc - int(page_counts[i])
+        page_counts[i] = pc
+        r_arr[i] = r_new
+
+    neg_inf = -np.inf
+    while True:
+        rounds += 1
+        if not alive.any():
+            break
+        # first-max among non-saturated tasks == Python max() over the
+        # candidate list in insertion order
+        longest = int(np.argmax(np.where(alive, d_pred, neg_inf)))
+        if n > 1:
+            masked = d_pred.copy()
+            masked[longest] = neg_inf
+            second_t = float(np.max(masked))
+        else:
+            second_t = 0.0
+
+        r_i = float(r_arr[longest])
+        row = grid_mat[longest]
+        while True:
+            r_i = min(1.0, r_i + step)
+            t_new = float(row[level_index(r_i)])
+            if t_new <= second_t or r_i >= 1.0:
+                break
+        d_pred[longest] = t_new
+        set_quota(longest, r_i)
+        if r_i >= 1.0:
+            alive[longest] = False
+        if used >= capacity_pages:
+            break
+
+    overshoot = used - capacity_pages
+    if overshoot > 0:
+        # stable descending order matches sorted(..., reverse=True): ties
+        # keep input order under both
+        order = np.argsort(-r_arr, kind="stable")
+        for i in order:
+            if overshoot <= 0:
+                break
+            i = int(i)
+            removable = _pages_for(int(pages_arr[i]), float(r_arr[i]))
+            shrink_pages = min(removable, overshoot)
+            shrunk = max(0.0, r_arr[i] - shrink_pages / int(pages_arr[i]))
+            set_quota(i, float(np.floor(shrunk / step) * step))
+            d_pred[i] = float(grid_mat[i][level_index(float(r_arr[i]))])
+            overshoot = used - capacity_pages
+
+    quotas = tuple(
+        TaskQuota(
+            task_id=ids[i],
+            dram_accesses=float(r_arr[i] * tasks[i].total_accesses),
+            r_dram=float(r_arr[i]),
+            dram_pages=int(page_counts[i]),
+            predicted_time_s=float(d_pred[i]),
+        )
+        for i in range(n)
+    )
+    return PlanResult(
+        quotas=quotas,
+        predicted_makespan_s=float(np.max(d_pred)),
+        dram_pages_used=used,
+        rounds=rounds,
+    )
+
+
 def optimal_quotas(
     tasks: Sequence[TaskModelInputs],
     model: PerformanceModel,
@@ -189,12 +347,26 @@ def optimal_quotas(
     """
     if not tasks:
         raise ValueError("no tasks to plan for")
-    capacity_pages = dram_capacity_bytes // PAGE_SIZE
     levels = np.round(np.arange(0.0, 1.0 + step / 2, step), 10)
-    task_pages = {
-        t.task_id: max(1, int(np.ceil(task_bytes[t.task_id] / PAGE_SIZE)))
-        for t in tasks
-    }
+    if scalar_kernels_enabled():
+        return _optimal_quotas_scalar(
+            tasks, model, dram_capacity_bytes, task_bytes, levels
+        )
+    return _optimal_quotas_kernel(
+        tasks, model, dram_capacity_bytes, task_bytes, levels
+    )
+
+
+def _optimal_quotas_scalar(
+    tasks: Sequence[TaskModelInputs],
+    model: PerformanceModel,
+    dram_capacity_bytes: int,
+    task_bytes: Mapping[str, int],
+    levels: np.ndarray,
+) -> PlanResult:
+    """Reference per-task-dict bisection (the pre-kernel implementation)."""
+    capacity_pages = dram_capacity_bytes // PAGE_SIZE
+    task_pages = _task_pages_map(tasks, task_bytes)
     # precompute predicted time per (task, level); enforce monotonicity so
     # bisection is sound even if the learned f(.) wiggles
     times: dict[str, np.ndarray] = {}
@@ -251,6 +423,79 @@ def optimal_quotas(
     )
 
 
+def _optimal_quotas_kernel(
+    tasks: Sequence[TaskModelInputs],
+    model: PerformanceModel,
+    dram_capacity_bytes: int,
+    task_bytes: Mapping[str, int],
+    levels: np.ndarray,
+) -> PlanResult:
+    """Array-native bisection (PERFORMANCE.md, "optimal_quotas").
+
+    The (tasks, levels) time matrix replaces the per-task dict; each
+    feasibility probe is two reductions (per-row first feasible level via
+    ``argmax`` over a boolean matrix, then one pages sum) instead of a
+    Python loop over tasks.  ``np.unique`` over the matrix equals
+    ``sorted(set(...))`` for float candidates, so bisection visits the
+    same makespans and returns the same optimum.
+    """
+    capacity_pages = dram_capacity_bytes // PAGE_SIZE
+    n = len(tasks)
+    pages_arr = np.array(
+        [max(1, int(np.ceil(task_bytes[t.task_id] / PAGE_SIZE))) for t in tasks],
+        dtype=np.int64,
+    )
+    g = model.ratio_grids(tasks, levels)  # one stacked model call
+    raw = np.vstack([np.asarray(g[t.task_id]) for t in tasks])
+    times = np.minimum.accumulate(raw, axis=1)  # (n, L), non-increasing rows
+
+    def min_pages_for_makespan(m: float) -> int | None:
+        feasible = times <= m                       # (n, L)
+        ok = feasible.any(axis=1)
+        if not ok.all():
+            return None
+        first = np.argmax(feasible, axis=1)          # first True per row
+        lv = levels[first]
+        return int(np.sum(np.ceil(pages_arr * np.clip(lv, 0.0, 1.0)).astype(np.int64)))
+
+    candidates = np.unique(times)
+    lo, hi = 0, len(candidates) - 1
+    best: float | None = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        pages = min_pages_for_makespan(float(candidates[mid]))
+        if pages is not None and pages <= capacity_pages:
+            best = float(candidates[mid])
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    if best is None:
+        best = float(candidates[-1])
+
+    feasible = times <= best
+    has = feasible.any(axis=1)
+    first = np.argmax(feasible, axis=1)
+    level_arr = np.where(has, levels[first], 1.0)
+    time_arr = np.where(has, times[np.arange(n), first], times[:, -1])
+    page_counts = np.ceil(pages_arr * np.clip(level_arr, 0.0, 1.0)).astype(np.int64)
+    quotas = tuple(
+        TaskQuota(
+            task_id=tasks[i].task_id,
+            dram_accesses=float(level_arr[i] * tasks[i].total_accesses),
+            r_dram=float(level_arr[i]),
+            dram_pages=int(page_counts[i]),
+            predicted_time_s=float(time_arr[i]),
+        )
+        for i in range(n)
+    )
+    return PlanResult(
+        quotas=quotas,
+        predicted_makespan_s=float(np.max(time_arr)),
+        dram_pages_used=int(page_counts.sum()),
+        rounds=1,
+    )
+
+
 def throughput_plan(
     tasks: Sequence[TaskModelInputs],
     model: PerformanceModel,
@@ -272,14 +517,32 @@ def throughput_plan(
         raise ValueError("no tasks to plan for")
     if not 0.0 < step <= 1.0:
         raise ValueError("step must be in (0, 1]")
+    levels = _step_levels(step)
+    if scalar_kernels_enabled():
+        grid = {
+            t.task_id: np.minimum.accumulate(model.ratio_grid(t, levels))
+            for t in tasks
+        }
+        return _throughput_plan_scalar(
+            tasks, dram_capacity_bytes, task_bytes, levels, grid
+        )
+    g = model.ratio_grids(tasks, levels)  # one stacked model call
+    grid = {tid: np.minimum.accumulate(v) for tid, v in g.items()}
+    return _throughput_plan_kernel(
+        tasks, dram_capacity_bytes, task_bytes, levels, grid
+    )
+
+
+def _throughput_plan_scalar(
+    tasks: Sequence[TaskModelInputs],
+    dram_capacity_bytes: int,
+    task_bytes: Mapping[str, int],
+    levels: np.ndarray,
+    grid: Mapping[str, np.ndarray],
+) -> PlanResult:
+    """Reference density-greedy loop (the pre-kernel implementation)."""
     capacity_pages = dram_capacity_bytes // PAGE_SIZE
-    levels = np.round(np.arange(0.0, 1.0 + step / 2, step), 10)
-    levels[-1] = min(levels[-1], 1.0)
-    grid = {t.task_id: np.minimum.accumulate(model.ratio_grid(t, levels)) for t in tasks}
-    task_pages = {
-        t.task_id: max(1, int(np.ceil(task_bytes[t.task_id] / PAGE_SIZE)))
-        for t in tasks
-    }
+    task_pages = _task_pages_map(tasks, task_bytes)
     by_id = {t.task_id: t for t in tasks}
 
     level_idx = {t.task_id: 0 for t in tasks}
@@ -325,4 +588,73 @@ def throughput_plan(
         predicted_makespan_s=max(q.predicted_time_s for q in quotas),
         dram_pages_used=pages_used(),
         rounds=sum(level_idx.values()),
+    )
+
+
+def _throughput_plan_kernel(
+    tasks: Sequence[TaskModelInputs],
+    dram_capacity_bytes: int,
+    task_bytes: Mapping[str, int],
+    levels: np.ndarray,
+    grid: Mapping[str, np.ndarray],
+) -> PlanResult:
+    """Array-native density greedy (PERFORMANCE.md, "throughput_plan").
+
+    Per-level page counts and per-step time savings are precomputed as
+    (tasks, levels) matrices; each greedy step is then one gather plus an
+    ``np.argmax`` (first-max == the scalar loop's strict ``>`` update
+    rule, which also keeps the first of tied candidates).
+    """
+    capacity_pages = dram_capacity_bytes // PAGE_SIZE
+    n = len(tasks)
+    n_levels = len(levels)
+    pages_arr = np.array(
+        [max(1, int(np.ceil(task_bytes[t.task_id] / PAGE_SIZE))) for t in tasks],
+        dtype=np.int64,
+    )
+    grid_mat = np.vstack([np.asarray(grid[t.task_id], dtype=np.float64) for t in tasks])
+    # pages at each level and the density of every possible upgrade step,
+    # all precomputed -- the greedy loop only gathers
+    pages_at = np.ceil(
+        pages_arr[:, None] * np.clip(levels, 0.0, 1.0)[None, :]
+    ).astype(np.int64)                                   # (n, L)
+    saved = grid_mat[:, :-1] - grid_mat[:, 1:]           # (n, L-1)
+    extra = pages_at[:, 1:] - pages_at[:, :-1]           # (n, L-1)
+    density_mat = saved / np.maximum(extra, 1)           # (n, L-1)
+
+    level_idx = np.zeros(n, dtype=np.int64)
+    rows = np.arange(n)
+
+    while True:
+        at_top = level_idx + 1 >= n_levels
+        density = np.where(
+            at_top, -np.inf, density_mat[rows, np.minimum(level_idx, n_levels - 2)]
+        )
+        best = int(np.argmax(density))
+        if not np.isfinite(density[best]) or density[best] <= 0:
+            break
+        level_idx[best] += 1
+        used = int(np.sum(pages_at[rows, level_idx]))
+        if used > capacity_pages:
+            level_idx[best] -= 1
+            break
+
+    level_vals = levels[level_idx]
+    time_vals = grid_mat[rows, level_idx]
+    page_counts = pages_at[rows, level_idx]
+    quotas = tuple(
+        TaskQuota(
+            task_id=tasks[i].task_id,
+            dram_accesses=float(level_vals[i]) * tasks[i].total_accesses,
+            r_dram=float(level_vals[i]),
+            dram_pages=int(page_counts[i]),
+            predicted_time_s=float(time_vals[i]),
+        )
+        for i in range(n)
+    )
+    return PlanResult(
+        quotas=quotas,
+        predicted_makespan_s=max(q.predicted_time_s for q in quotas),
+        dram_pages_used=int(page_counts.sum()),
+        rounds=int(level_idx.sum()),
     )

@@ -8,7 +8,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.common import make_rng
+from repro.common import make_rng, scalar_kernels_enabled
+from repro.ml.kernels import ForestArrays, forest_predict, pack_forest
 from repro.ml.tree import DecisionTreeRegressor
 
 __all__ = ["GradientBoostedRegressor"]
@@ -42,6 +43,7 @@ class GradientBoostedRegressor:
         self.trees_: list[DecisionTreeRegressor] = []
         self.train_losses_: list[float] = []
         self.feature_importances_: np.ndarray | None = None
+        self._forest: ForestArrays | None = None
 
     def fit(self, X, y) -> "GradientBoostedRegressor":
         X = np.asarray(X, dtype=np.float64)
@@ -53,6 +55,7 @@ class GradientBoostedRegressor:
         pred = np.full(n, self.init_)
         self.trees_ = []
         self.train_losses_ = []
+        self._forest = None
         importances = np.zeros(X.shape[1])
         n_sub = max(2, int(round(self.subsample * n)))
         for _ in range(self.n_estimators):
@@ -75,16 +78,35 @@ class GradientBoostedRegressor:
         self.feature_importances_ = importances / total if total > 0 else importances
         return self
 
+    def forest(self) -> ForestArrays:
+        """Flat node arena over all boosted trees (PERFORMANCE.md).
+
+        Packed lazily on first inference after a fit and reused until the
+        next ``fit`` invalidates it, so repeated ``predict`` calls never
+        touch the Python tree objects.
+        """
+        if not self.trees_:
+            raise RuntimeError("model not fitted")
+        if self._forest is None or self._forest.n_trees != len(self.trees_):
+            self._forest = pack_forest(self.trees_)
+        return self._forest
+
     def predict(self, X) -> np.ndarray:
         if not self.trees_:
             raise RuntimeError("model not fitted")
         X = np.asarray(X, dtype=np.float64)
         if X.ndim == 1:
             X = X[None, :]
-        pred = np.full(X.shape[0], self.init_)
-        for tree in self.trees_:
-            pred += self.learning_rate * tree.predict(X)
-        return pred
+        if scalar_kernels_enabled():
+            # reference path: per-tree scalar descent, sequential shrinkage
+            pred = np.full(X.shape[0], self.init_)
+            for tree in self.trees_:
+                pred += self.learning_rate * tree.predict(X)
+            return pred
+        # the kernel replays the identical tree-ordered accumulation over a
+        # batched (n_trees, n_samples) leaf matrix -- bit-identical by the
+        # float-ordering rules in PERFORMANCE.md
+        return forest_predict(self.forest(), X, self.init_, self.learning_rate)
 
     def staged_r2(self, X, y) -> np.ndarray:
         """R-squared after each boosting stage (diagnostic)."""

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.common import make_rng
+from repro.common import make_rng, scalar_kernels_enabled
+from repro.ml.kernels import TreeArrays, pack_tree, tree_apply
 
 __all__ = ["DecisionTreeRegressor"]
 
@@ -109,6 +110,7 @@ class DecisionTreeRegressor:
         self.max_features = max_features
         self._rng = make_rng(rng)
         self._nodes: list[_Node] = []
+        self._arrays: TreeArrays | None = None
         self.n_features_: int | None = None
         self.feature_importances_: np.ndarray | None = None
 
@@ -167,9 +169,25 @@ class DecisionTreeRegressor:
             return node_id
 
         build(np.arange(n), 0)
+        self._arrays = pack_tree(self._nodes)
         total = importances.sum()
         self.feature_importances_ = importances / total if total > 0 else importances
         return self
+
+    # ------------------------------------------------------------------
+    def arrays(self) -> TreeArrays:
+        """Struct-of-arrays encoding of the fitted tree (PERFORMANCE.md).
+
+        Packed once at fit time; every inference call reuses it instead
+        of re-walking the Python ``_Node`` list.
+        """
+        if self._arrays is None:
+            if not self._nodes:
+                raise RuntimeError("tree not fitted")
+            # trees fitted before the arrays cache existed (e.g. unpickled
+            # from an old artifact) pack lazily
+            self._arrays = pack_tree(self._nodes)
+        return self._arrays
 
     # ------------------------------------------------------------------
     def predict(self, X) -> np.ndarray:
@@ -180,24 +198,27 @@ class DecisionTreeRegressor:
             X = X[None, :]
         if X.shape[1] != self.n_features_:
             raise ValueError("feature-count mismatch")
-        n = X.shape[0]
-        out = np.empty(n)
-        # iterative vectorised descent: keep per-sample node cursor
-        cursor = np.zeros(n, dtype=np.int64)
-        features = np.array([nd.feature for nd in self._nodes])
-        thresholds = np.array([nd.threshold for nd in self._nodes])
-        lefts = np.array([nd.left for nd in self._nodes])
-        rights = np.array([nd.right for nd in self._nodes])
-        values = np.array([nd.value for nd in self._nodes])
-        active = features[cursor] >= 0
-        while active.any():
-            cur = cursor[active]
-            f = features[cur]
-            go_left = X[np.flatnonzero(active), f] <= thresholds[cur]
-            nxt = np.where(go_left, lefts[cur], rights[cur])
-            cursor[active] = nxt
-            active = features[cursor] >= 0
-        out[:] = values[cursor]
+        if scalar_kernels_enabled():
+            return self._predict_scalar(X)
+        return tree_apply(self.arrays(), X)
+
+    def _predict_scalar(self, X: np.ndarray) -> np.ndarray:
+        """Reference per-sample descent over the Python node list.
+
+        Split comparisons are identical to the batched kernel's
+        (``x <= threshold`` on the same float64 values), so both paths
+        land each sample on the same leaf -- the bit-identity contract
+        ``tests/test_kernels.py`` enforces.
+        """
+        out = np.empty(X.shape[0])
+        for i in range(X.shape[0]):
+            node = self._nodes[0]
+            while node.feature >= 0:
+                if X[i, node.feature] <= node.threshold:
+                    node = self._nodes[node.left]
+                else:
+                    node = self._nodes[node.right]
+            out[i] = node.value
         return out
 
     @property

@@ -26,8 +26,9 @@ from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.common import PAGE_SIZE, make_rng
+from repro.common import PAGE_SIZE, make_rng, scalar_kernels_enabled
 from repro.sim.faults import FaultInjector, RobustnessReport
+from repro.sim.kernels import BreakdownKernel
 from repro.sim.machine import MachineModel, TimeBreakdown
 from repro.sim.memspec import HMConfig
 from repro.sim.pages import MigrationBatch, PageTable
@@ -636,6 +637,18 @@ class Engine:
         ctx.migration_budget_pages = max(1, int(mig_budget_bytes // PAGE_SIZE))
         ctx.failed_migrations.clear()
 
+        # batched tick kernel: hoists the placement-independent parts of
+        # every instance's breakdown out of the tick loop (PERFORMANCE.md).
+        # The MERCH_SCALAR_KERNELS escape hatch keeps the per-instance
+        # scalar model; both paths are bit-identical.
+        kernel: BreakdownKernel | None = None
+        if not scalar_kernels_enabled():
+            kernel = BreakdownKernel(
+                self.machine,
+                self.hm,
+                [(inst.task_id, inst.footprint) for inst in region.instances],
+            )
+
         ticks = 0
         while len(finish) < len(region.instances):
             ticks += 1
@@ -648,13 +661,24 @@ class Engine:
             fractions = ctx.dram_fractions()
             active = ctx.active_instances()
 
-            # phase 1: unconstrained progress and per-tier byte demand
+            # phase 1: unconstrained progress and per-tier byte demand.
+            # Demand sums stay sequential Python adds in instance order so
+            # both breakdown paths produce the same contention scaling.
             dprog: dict[str, float] = {}
             bds: dict[str, TimeBreakdown] = {}
             demand_dram = 0.0
             demand_pm = 0.0
-            for inst in active:
-                bd = self.machine.breakdown(inst.footprint, self.hm, fractions)
+            if kernel is not None:
+                bd_batch = kernel.breakdown_batch(
+                    [inst.task_id for inst in active], fractions
+                )
+                breakdowns = zip(active, bd_batch)
+            else:
+                breakdowns = (
+                    (inst, self.machine.breakdown(inst.footprint, self.hm, fractions))
+                    for inst in active
+                )
+            for inst, bd in breakdowns:
                 bds[inst.task_id] = bd
                 ctx.instance_times[inst.task_id] = bd.total_s
                 d = dt / max(bd.total_s, 1e-12)

@@ -131,7 +131,21 @@ class MigrationBatch:
 
 
 class PageTable:
-    """All paged objects of a workload plus DRAM capacity accounting."""
+    """All paged objects of a workload plus DRAM capacity accounting.
+
+    Page state is stored struct-of-arrays (PERFORMANCE.md): one contiguous
+    weight arena and one residency arena cover every object, and each
+    :class:`PagedObject`'s ``weight``/``residency`` are views into them.
+    There is exactly one copy of the data, so per-object methods and bulk
+    arena consumers (the sim's batched kernels, sampling profilers) read
+    the same bits by construction.  Object segments are padded to
+    :data:`_ARENA_ALIGN` float64 lanes (one cache line) so per-object views
+    keep the alignment fresh allocations would have; padding lanes are
+    never written and stay zero.
+    """
+
+    #: float64 lanes per arena segment boundary (8 * 8 B = one cache line)
+    _ARENA_ALIGN = 8
 
     def __init__(
         self,
@@ -148,6 +162,63 @@ class PageTable:
         if dram_capacity_bytes < 0:
             raise ValueError("DRAM capacity must be non-negative")
         self.dram_capacity_bytes = dram_capacity_bytes
+        self._build_arena()
+
+    def _build_arena(self) -> None:
+        """Adopt every object's page vectors into the shared arenas."""
+        objs = list(self._objects.values())
+        starts: list[int] = []
+        pos = 0
+        align = self._ARENA_ALIGN
+        for o in objs:
+            starts.append(pos)
+            pos += -(-o.n_pages // align) * align
+        self._weight_arena = np.zeros(pos, dtype=np.float64)
+        self._residency_arena = np.zeros(pos, dtype=np.float64)
+        self._slices: dict[str, slice] = {}
+        for o, start in zip(objs, starts):
+            sl = slice(start, start + o.n_pages)
+            self._slices[o.name] = sl
+            self._weight_arena[sl] = o.weight
+            self._residency_arena[sl] = o.residency
+            o.weight = self._weight_arena[sl]
+            o.residency = self._residency_arena[sl]
+
+    # -- pickling: numpy views detach from their base under pickle, so the
+    # arena is dropped and rebuilt from the objects' (copied) vectors
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_weight_arena", None)
+        state.pop("_residency_arena", None)
+        state.pop("_slices", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._build_arena()
+
+    @property
+    def weight_arena(self) -> np.ndarray:
+        """The shared per-page access-weight arena (read-only by convention).
+
+        Object segments are located by :meth:`object_slice`; lanes between
+        segments are alignment padding and always zero.
+        """
+        return self._weight_arena
+
+    @property
+    def residency_arena(self) -> np.ndarray:
+        """The shared per-page DRAM-residency arena.
+
+        Mutations through an object's ``residency`` view and through this
+        arena are the same memory; batched consumers may read it wholesale
+        instead of walking objects.
+        """
+        return self._residency_arena
+
+    def object_slice(self, name: str) -> slice:
+        """Arena slice holding ``name``'s pages (exclusive of padding)."""
+        return self._slices[name]
 
     def __iter__(self) -> Iterator[PagedObject]:
         return iter(self._objects.values())

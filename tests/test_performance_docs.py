@@ -1,0 +1,89 @@
+"""PERFORMANCE.md must document 100% of the public kernel entry points.
+
+Same doc-coverage pattern as ``test_observability_docs.py``: the doc's
+kernel reference tables are diffed against the canonical entry-point list
+(``repro.ml.kernels.KERNEL_ENTRY_POINTS``).  A kernel added to the code
+without a doc row fails, as does a doc row for a dotted name that no
+longer resolves to a real attribute — the reference cannot silently rot
+in either direction.
+"""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.ml.kernels import KERNEL_ENTRY_POINTS
+
+DOC = Path(__file__).resolve().parent.parent / "PERFORMANCE.md"
+
+#: a kernel reference row: | `repro.x.y` | ... |
+ROW = re.compile(r"^\|\s*`(repro\.[A-Za-z0-9_.]+)`\s*\|")
+
+
+def _doc_rows() -> set[str]:
+    rows: set[str] = set()
+    for line in DOC.read_text().splitlines():
+        m = ROW.match(line)
+        if m:
+            rows.add(m.group(1))
+    return rows
+
+
+def _resolve(dotted: str):
+    """Import the longest importable module prefix, then getattr the rest."""
+    parts = dotted.split(".")
+    for cut in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:cut]))
+        except ImportError:
+            continue
+        for attr in parts[cut:]:
+            obj = getattr(obj, attr)
+        return obj
+    raise ImportError(f"no importable prefix in {dotted!r}")
+
+
+def test_doc_exists():
+    assert DOC.exists(), "PERFORMANCE.md is missing"
+
+
+@pytest.mark.parametrize("dotted", KERNEL_ENTRY_POINTS)
+def test_every_entry_point_resolves(dotted):
+    """The canonical list itself may not rot: every name must exist."""
+    assert _resolve(dotted) is not None
+
+
+def test_every_entry_point_is_documented():
+    missing = set(KERNEL_ENTRY_POINTS) - _doc_rows()
+    assert not missing, f"kernels missing from PERFORMANCE.md: {sorted(missing)}"
+
+
+def test_every_documented_kernel_is_registered():
+    stale = _doc_rows() - set(KERNEL_ENTRY_POINTS)
+    assert not stale, f"PERFORMANCE.md documents unknown kernels: {sorted(stale)}"
+
+
+def test_reference_covers_exactly_the_entry_points():
+    assert _doc_rows() == set(KERNEL_ENTRY_POINTS)
+
+
+def test_escape_hatch_is_documented():
+    text = DOC.read_text()
+    assert "MERCH_SCALAR_KERNELS" in text
+    # the doc must state both the differential-testing purpose and the
+    # bit-identity guarantee the tests enforce
+    assert "bit-identical" in text or "bit identical" in text
+
+
+def test_speedup_table_matches_committed_results():
+    """The before/after table cites the committed measured ratios."""
+    import json
+
+    results = Path(__file__).resolve().parent.parent / "results" / "kernel_speedups.json"
+    assert results.exists(), "results/kernel_speedups.json is missing"
+    entries = json.loads(results.read_text())
+    text = DOC.read_text()
+    for name in entries:
+        assert f"`{name}`" in text, f"benchmark {name!r} missing from PERFORMANCE.md"
