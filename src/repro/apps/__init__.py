@@ -13,9 +13,17 @@ from repro.apps.bfs import BFSApp
 from repro.apps.warpx import WarpXApp
 from repro.apps.dmrg import DMRGApp
 from repro.apps.nwchem_tc import NWChemTCApp, TC_PHASES
+from repro.apps.dag_base import DAGApplication
+from repro.apps.fox import FoxApp
+from repro.apps.cholesky import CholeskyApp
 
 #: The evaluation suite, in the paper's Table 2 order.
 ALL_APPS = (SpGEMMApp, WarpXApp, BFSApp, DMRGApp, NWChemTCApp)
+
+#: The task-DAG applications driven through the ``repro.runtime`` frontend
+#: (dag_apps experiment); kept out of ``ALL_APPS``, whose consumers expect
+#: barrier pipelines.
+DAG_APPS = (FoxApp, CholeskyApp)
 
 __all__ = [
     "AppConfig",
@@ -29,4 +37,8 @@ __all__ = [
     "NWChemTCApp",
     "TC_PHASES",
     "ALL_APPS",
+    "DAGApplication",
+    "FoxApp",
+    "CholeskyApp",
+    "DAG_APPS",
 ]

@@ -1,0 +1,125 @@
+"""Application abstraction for DAG-runtime workloads.
+
+Parallel to :class:`repro.apps.base.Application`, but the workload is a
+sequence of :class:`~repro.runtime.dag.TaskDAG`\\ s (one per outer
+iteration) built through the ``@spawn`` frontend instead of a sequence of
+barrier regions.  The same three honest layers apply: a runnable numpy
+reference kernel, a simulated-scale task graph calibrated by the
+reference's structure, and the ``lb_hm_config`` binding Merchandiser's
+static analysis consumes.
+
+Node ids are stable across iterations -- the first iteration's instances
+become the base profiles and later iterations are planner-driven, the same
+per-(task, kind) lifecycle the barrier pipeline uses.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.apps.base import AppConfig
+from repro.common import AccessPattern
+from repro.core.api import lb_hm_config
+from repro.core.patterns import Loop
+from repro.core.runtime import ApplicationBinding
+from repro.runtime.dag import TaskDAG
+from repro.runtime.executor import DAGExecutor
+from repro.sim.cache import OnChipCacheModel
+from repro.tasks.task import DataObject
+
+__all__ = ["DAGApplication"]
+
+
+class DAGApplication(abc.ABC):
+    """Base class for applications expressed as task DAGs."""
+
+    name: str = "dag-app"
+
+    def __init__(self, config: AppConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+        self._cache_model = OnChipCacheModel()
+        #: per (node id, iteration): object name -> effective size, recorded
+        #: while the DAGs are built (the LB_HM_config size pointers)
+        self._node_sizes: dict[tuple[str, int], dict[str, int]] = {}
+
+    # -- required per app ------------------------------------------------
+    @abc.abstractmethod
+    def build_dags(self, seed=None) -> list[TaskDAG]:
+        """One task DAG per outer iteration (same topology, drifting
+        inputs)."""
+
+    @abc.abstractmethod
+    def task_kernels(self) -> dict[str, list[Loop]]:
+        """Loop-nest IR per node id (for static pattern analysis)."""
+
+    @abc.abstractmethod
+    def managed_objects(self, dag: TaskDAG) -> dict[str, list[DataObject]]:
+        """Per node id, the data objects passed to ``LB_HM_config``."""
+
+    @abc.abstractmethod
+    def hand_priority(self) -> list[str]:
+        """The developer's static object ranking -- what a hand-written
+        ``placement=`` annotation stages into DRAM, most important first."""
+
+    def input_dependent_objects(self) -> dict[str, tuple[str, ...]]:
+        return {}
+
+    @classmethod
+    @abc.abstractmethod
+    def small_config(cls) -> AppConfig: ...
+
+    @classmethod
+    @abc.abstractmethod
+    def paper_config(cls) -> AppConfig: ...
+
+    @classmethod
+    def small(cls, seed: int = 0) -> "DAGApplication":
+        return cls(cls.small_config(), seed=seed)
+
+    @classmethod
+    def paper_scale(cls, seed: int = 0) -> "DAGApplication":
+        return cls(cls.paper_config(), seed=seed)
+
+    # -- provided ----------------------------------------------------------
+    def binding(self, dags: Sequence[TaskDAG]) -> ApplicationBinding:
+        """Merchandiser registration for the lowered program.
+
+        Lowering decides region names (``it{i}.wave{k}`` vs ``it{i}.dag``),
+        so per-instance sizes recorded per (node, iteration) are re-keyed
+        here through the same lowering the executor performs.
+        """
+        kernels = self.task_kernels()
+        input_dep = self.input_dependent_objects()
+        descriptors = {}
+        for node_id, objects in self.managed_objects(dags[0]).items():
+            descriptors[node_id] = lb_hm_config(
+                objects,
+                kernels[node_id],
+                input_dependent=input_dep.get(node_id, ()),
+            )
+        _, waves, _ = DAGExecutor.lower_static(dags)
+        instance_sizes: dict[tuple[str, str], dict[str, int]] = {}
+        for wave in waves:
+            for node_id in wave.node_ids:
+                sizes = self._node_sizes.get((node_id, wave.iteration))
+                if sizes is not None:
+                    instance_sizes[(node_id, wave.region_name)] = sizes
+        return ApplicationBinding(
+            descriptors=descriptors,
+            instance_object_sizes=instance_sizes,
+        )
+
+    def mem_accesses(
+        self,
+        pattern: AccessPattern,
+        logical_accesses: int,
+        element_size: int,
+        working_set_bytes: int,
+        stride: int = 1,
+    ) -> int:
+        """Main-memory accesses after on-chip cache filtering."""
+        return self._cache_model.mem_accesses(
+            pattern, logical_accesses, element_size, working_set_bytes, stride
+        )

@@ -7,19 +7,24 @@
 * :class:`MemoryOptimizerPolicy` -- Intel MemoryOptimizer: periodic random
   page sampling, hot-page promotion, cold-page demotion;
 * :class:`SpartaPolicy` / :class:`WarpXPMPolicy` -- the two
-  application-specific comparators of Section 7.1.
+  application-specific comparators of Section 7.1;
+* :class:`DRAMGreedyPolicy` / :class:`HandPlacedPolicy` -- the DAG-runtime
+  comparators (first-fit DRAM allocation and the developer's hand-written
+  static ranking).
 """
 
-from repro.baselines.static import DRAMOnlyPolicy, PMOnlyPolicy
+from repro.baselines.static import DRAMGreedyPolicy, DRAMOnlyPolicy, PMOnlyPolicy
 from repro.baselines.memorymode import MemoryModePolicy
 from repro.baselines.memoptimizer import MemoryOptimizerPolicy
-from repro.baselines.appspecific import SpartaPolicy, WarpXPMPolicy
+from repro.baselines.appspecific import HandPlacedPolicy, SpartaPolicy, WarpXPMPolicy
 
 __all__ = [
     "PMOnlyPolicy",
     "DRAMOnlyPolicy",
+    "DRAMGreedyPolicy",
     "MemoryModePolicy",
     "MemoryOptimizerPolicy",
     "SpartaPolicy",
     "WarpXPMPolicy",
+    "HandPlacedPolicy",
 ]

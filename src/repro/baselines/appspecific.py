@@ -22,7 +22,12 @@ import numpy as np
 from repro.sim.engine import EngineContext, PlacementPolicy
 from repro.sim.pages import MigrationBatch
 
-__all__ = ["SpartaPolicy", "WarpXPMPolicy", "fill_dram_by_priority"]
+__all__ = [
+    "SpartaPolicy",
+    "WarpXPMPolicy",
+    "HandPlacedPolicy",
+    "fill_dram_by_priority",
+]
 
 
 def fill_dram_by_priority(
@@ -188,3 +193,24 @@ class WarpXPMPolicy(PlacementPolicy):
                 exhausted.add(slowest)
                 continue
             table.object(best[2]).residency[best[3]] = 1.0
+
+
+class HandPlacedPolicy(PlacementPolicy):
+    """Hand-written static placement for DAG applications.
+
+    What a careful developer writes without a planner: rank the
+    application's data objects once, ahead of time, by their expected
+    importance (Parla's ``placement=`` annotations play this role), stage
+    them into DRAM at startup in that order, and leave the placement alone.
+    No per-input adaptation, no cross-task load balancing -- the gap to
+    Merchandiser's inferred placement is exactly what the ``dag_apps``
+    experiment measures.
+    """
+
+    name = "hand-static"
+
+    def __init__(self, priority: Sequence[str]) -> None:
+        self.priority = list(priority)
+
+    def on_workload_start(self, ctx: EngineContext) -> None:
+        fill_dram_by_priority(ctx, self.priority)

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.sim.engine import EngineContext, PlacementPolicy
 
-__all__ = ["PMOnlyPolicy", "DRAMOnlyPolicy"]
+__all__ = ["PMOnlyPolicy", "DRAMOnlyPolicy", "DRAMGreedyPolicy"]
 
 
 class PMOnlyPolicy(PlacementPolicy):
@@ -28,3 +30,26 @@ class DRAMOnlyPolicy(PlacementPolicy):
 
     def on_workload_start(self, ctx: EngineContext) -> None:
         ctx.page_table.place_all(1.0)
+
+
+class DRAMGreedyPolicy(PlacementPolicy):
+    """All-DRAM-greedy: allocate into DRAM first-fit until it is full.
+
+    What a DRAM-preferred allocator (e.g. first-touch on the fast node)
+    gives a footprint that exceeds DRAM: objects land in declaration order,
+    page by page, and everything past capacity spills to PM.  Blind to both
+    access hotness and cross-task balance.
+    """
+
+    name = "dram-greedy"
+
+    def on_workload_start(self, ctx: EngineContext) -> None:
+        table = ctx.page_table
+        for obj in table:
+            obj.set_residency(0.0)
+        for obj in table:
+            free = table.dram_free_pages()
+            if free <= 0:
+                break
+            n = min(int(free), len(obj.residency))
+            obj.residency[np.arange(n)] = 1.0

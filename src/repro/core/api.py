@@ -139,10 +139,16 @@ class Merchandiser:
         self,
         binding: ApplicationBinding,
         seed=None,
+        policy_cls: type[MerchandiserPolicy] = MerchandiserPolicy,
         **policy_kwargs,
     ) -> MerchandiserPolicy:
-        """Build the runtime placement policy for one application."""
-        return MerchandiserPolicy(
+        """Build the runtime placement policy for one application.
+
+        ``policy_cls`` selects a :class:`MerchandiserPolicy` subclass (the
+        DAG runtime passes ``repro.runtime.DAGMerchandiserPolicy``); extra
+        keyword arguments are forwarded to it.
+        """
+        return policy_cls(
             model=self.performance_model,
             binding=binding,
             homogeneous=HomogeneousPredictor(self.machine, self.hm),

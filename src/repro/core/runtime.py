@@ -275,16 +275,11 @@ class MerchandiserPolicy(PlacementPolicy):
         self._region_start_s = ctx.time
         if self.enable_planning and ready and not self._pending_base:
             with self._span("plan", tasks=len(ready)):
-                plan = greedy_plan(
-                    ready,
-                    self.model,
-                    ctx.page_table.dram_capacity_bytes,
-                    task_bytes,
-                )
+                plan, predicted_region_s = self._plan_region(ctx, ready, task_bytes)
             if tel is not None:
                 tel.inc("merch_policy_plans_total")
             if self.guardrails is not None or tel is not None:
-                self._watch_prediction = plan.predicted_makespan_s
+                self._watch_prediction = predicted_region_s
             if not degraded:
                 # the watchdog's degraded mode: predictions are computed
                 # (so recovery is observable) but never acted on -- the
@@ -298,6 +293,28 @@ class MerchandiserPolicy(PlacementPolicy):
         if tel is not None:
             tel.observe("merch_policy_planning_wall_seconds", dt_wall)
             tel.tracer.end(prep, tel.tracer.wall_now())
+
+    def _plan_region(
+        self,
+        ctx: EngineContext,
+        ready: list[TaskModelInputs],
+        task_bytes: dict[str, int],
+    ) -> tuple[PlanResult, float]:
+        """Plan DRAM quotas for the region's ready tasks.
+
+        Returns ``(plan, predicted_region_s)`` where the second element is
+        what the watchdog compares against the measured region time.  The
+        base implementation is Algorithm 1's barrier objective; the DAG
+        runtime's critical-path policy (``repro.runtime.policy``) overrides
+        this to steer quota toward the longest weighted path.
+        """
+        plan = greedy_plan(
+            ready,
+            self.model,
+            ctx.page_table.dram_capacity_bytes,
+            task_bytes,
+        )
+        return plan, plan.predicted_makespan_s
 
     def on_tick(self, ctx: EngineContext, dt: float) -> MigrationBatch | None:
         moves: list[tuple[str, np.ndarray, bool]] = []
@@ -594,11 +611,17 @@ class MerchandiserPolicy(PlacementPolicy):
             ) / total
         return 0.0
 
-    def _build_promotion_queue(self, ctx: EngineContext, plan: PlanResult) -> None:
+    def _build_promotion_queue(
+        self, ctx: EngineContext, plan: PlanResult, from_scratch: bool = False
+    ) -> None:
         """Queue the hottest pages of each task up to its quota.
 
         Shared objects are promoted once, driven by the highest quota among
-        their sharers.
+        their sharers.  With ``from_scratch`` the target placement is
+        simulated from an empty DRAM against the full capacity -- the queue
+        may then displace currently resident pages (``on_tick`` pairs such
+        promotions with demotions), instead of being clipped to whatever
+        happens to be free right now.
         """
         assert ctx.region is not None
         # Algorithm 1's realisation: "the increase of DRAM accesses of a
@@ -609,20 +632,24 @@ class MerchandiserPolicy(PlacementPolicy):
         # for one task also raise the fractions of tasks sharing the object,
         # so later tasks need correspondingly less.
         table = ctx.page_table
-        budget_pages = table.dram_capacity_bytes // PAGE_SIZE - int(
-            sum(obj.dram_pages() for obj in table)
-        )
-        # simulated residency: start from what is already in DRAM
-        resident: dict[str, np.ndarray] = {
-            obj.name: obj.residency > 0.5 for obj in table
-        }
+        if from_scratch:
+            budget_pages = table.dram_capacity_bytes // PAGE_SIZE
+            resident = {
+                obj.name: np.zeros_like(obj.residency, dtype=bool)
+                for obj in table
+            }
+        else:
+            budget_pages = table.dram_capacity_bytes // PAGE_SIZE - int(
+                sum(obj.dram_pages() for obj in table)
+            )
+            # simulated residency: start from what is already in DRAM
+            resident = {obj.name: obj.residency > 0.5 for obj in table}
         picked: dict[str, np.ndarray] = {
             name: np.zeros_like(mask) for name, mask in resident.items()
         }
         by_task = {inst.task_id: inst for inst in ctx.region.instances}
-        order = sorted(
-            self._quota_targets, key=self._quota_targets.__getitem__, reverse=True
-        )
+        order = self._promotion_task_order()
+        alloc_order: list[tuple[str, np.ndarray]] = []
         for tid in order:
             if budget_pages <= 0:
                 break
@@ -668,15 +695,33 @@ class MerchandiserPolicy(PlacementPolicy):
                 sel = all_pages[take[name_arr[take] == name]]
                 resident[name][sel] = True
                 picked[name][sel] = True
+                alloc_order.append((name, sel))
         queue: list[tuple[str, np.ndarray]] = []
-        for name, mask in picked.items():
-            idx = np.flatnonzero(mask)
-            if len(idx):
+        if from_scratch:
+            # drain in task-service order: the pages of the first-served
+            # tasks migrate first (the DAG policy serves tasks in execution
+            # order, so data arrives before its task is released)
+            for name, sel in alloc_order:
                 obj = table.object(name)
-                # hottest first so partial drains still help the most
-                idx = idx[np.argsort(obj.weight[idx])[::-1]]
-                queue.append((name, idx))
+                sel = sel[~(obj.residency[sel] > 0.5)]
+                if len(sel):
+                    sel = sel[np.argsort(obj.weight[sel])[::-1]]
+                    queue.append((name, sel))
+        else:
+            for name, mask in picked.items():
+                idx = np.flatnonzero(mask)
+                if len(idx):
+                    obj = table.object(name)
+                    # hottest first so partial drains still help the most
+                    idx = idx[np.argsort(obj.weight[idx])[::-1]]
+                    queue.append((name, idx))
         self._promotion_queue = queue
+
+    def _promotion_task_order(self) -> list[str]:
+        """Quota-service order: largest DRAM demand first."""
+        return sorted(
+            self._quota_targets, key=self._quota_targets.__getitem__, reverse=True
+        )
 
     def _gated_daemon_moves(
         self, ctx: EngineContext

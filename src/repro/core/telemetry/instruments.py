@@ -388,6 +388,46 @@ METRIC_SPECS: tuple[MetricSpec, ...] = (
         "SLO-gate threshold violations, by threshold name.",
         labels=("threshold",),
     ),
+    # -- DAG task runtime -------------------------------------------------
+    MetricSpec(
+        "merch_runtime_dags_total", "counter",
+        "Task DAGs lowered by the DAG executor (one per outer iteration).",
+    ),
+    MetricSpec(
+        "merch_runtime_tasks_total", "counter",
+        "Task instances lowered from DAG nodes into engine regions.",
+    ),
+    MetricSpec(
+        "merch_runtime_edges_total", "counter",
+        "Dependency edges in lowered DAGs, by how the edge was obtained.",
+        labels=("source",),  # explicit | inferred
+    ),
+    MetricSpec(
+        "merch_runtime_regions_total", "counter",
+        "Engine regions produced by DAG lowering, by lowering mode.",
+        labels=("mode",),  # wavefront | gated
+    ),
+    MetricSpec(
+        "merch_runtime_ready_tasks", "histogram",
+        "Ready-set width at each topological level of a lowered DAG.",
+        buckets=COUNT,
+    ),
+    MetricSpec(
+        "merch_runtime_plans_total", "counter",
+        "DAG-policy planner invocations, by effective objective.",
+        labels=("objective",),  # critical-path | barrier
+    ),
+    MetricSpec(
+        "merch_runtime_critical_path_seconds", "histogram",
+        "Predicted critical-path length of each DAG plan (virtual time).",
+        buckets=VIRTUAL_SECONDS,
+    ),
+    MetricSpec(
+        "merch_runtime_tail_seconds", "histogram",
+        "Per-task downstream critical-path tail at planning time "
+        "(virtual time).",
+        buckets=VIRTUAL_SECONDS,
+    ),
 )
 
 

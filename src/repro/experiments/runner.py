@@ -38,6 +38,7 @@ from pathlib import Path
 from repro.experiments import (
     ablation,
     cluster_failover,
+    dag_apps,
     extensibility,
     fig3,
     fig4,
@@ -80,6 +81,7 @@ EXPERIMENTS = {
     "transport_load": transport_load.run,
     "cluster_failover": cluster_failover.run,
     "replay_gate": replay_gate.run,
+    "dag_apps": dag_apps.run,
 }
 
 #: cheap-first ordering so failures surface early
@@ -104,6 +106,7 @@ DEFAULT_ORDER = (
     "transport_load",
     "cluster_failover",
     "replay_gate",
+    "dag_apps",
 )
 
 

@@ -1,0 +1,36 @@
+"""Parla-style task-runtime frontend with planner-inferred placement.
+
+The subsystem has four layers (DESIGN.md §14):
+
+* :mod:`repro.runtime.dag` -- validated task DAGs over the ``tasks/``
+  data-object vocabulary (cycle detection, deterministic levelling);
+* :mod:`repro.runtime.api` -- the ``@spawn`` decorator frontend and the
+  explicit :class:`DAGBuilder`, with reads/writes dependency inference;
+* :mod:`repro.runtime.planning` + :mod:`repro.runtime.policy` -- the
+  critical-path (bottom-level) planning objective as a
+  :class:`~repro.core.runtime.MerchandiserPolicy` subclass, falling back
+  bit-identically to the barrier objective on level sequences;
+* :mod:`repro.runtime.executor` -- lowering to the virtual-time engine:
+  barrier wavefronts for level sequences, dependency-gated regions for
+  general DAGs.
+"""
+
+from repro.runtime.api import DAGBuilder, TaskHandle, spawn_program
+from repro.runtime.dag import TaskDAG, TaskNode
+from repro.runtime.executor import DAGExecutor, DAGRunResult, WaveInfo
+from repro.runtime.planning import CriticalPathPlan, critical_path_plan
+from repro.runtime.policy import DAGMerchandiserPolicy
+
+__all__ = [
+    "DAGBuilder",
+    "TaskHandle",
+    "spawn_program",
+    "TaskDAG",
+    "TaskNode",
+    "DAGExecutor",
+    "DAGRunResult",
+    "WaveInfo",
+    "CriticalPathPlan",
+    "critical_path_plan",
+    "DAGMerchandiserPolicy",
+]

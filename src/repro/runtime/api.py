@@ -1,0 +1,196 @@
+"""The ``@spawn`` frontend: Parla-style task graphs with inferred placement.
+
+Parla programs (SNIPPETS.md) write::
+
+    @spawn(B[i, j], placement=loc(i, j))
+    def bcast(): ...
+
+    @spawn(M[i, j], [B[i, j]], placement=loc(i, j))
+    def mult(): ...
+
+Here the ``placement=`` argument disappears -- placement is what the
+Merchandiser planner *infers* -- and the decorated function returns the
+task's :class:`~repro.tasks.task.Footprint` (this repo's analogue of the
+task body).  Dependencies come from two sources:
+
+* **explicit**: ``deps=[...]`` of task ids or :class:`TaskHandle`\\ s;
+* **inferred**: declared ``reads=``/``writes=`` object sets.  The builder
+  sequentially tracks each object's last writer and the readers since, and
+  derives read-after-write, write-after-write, and write-after-read edges
+  -- the dataflow ordering a task-parallel runtime must respect.
+
+:meth:`DAGBuilder.add_task` is the explicit, decorator-free spelling used
+by tests and generated programs.  ``build()`` returns a validated
+:class:`~repro.runtime.dag.TaskDAG`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.runtime.dag import TaskDAG, TaskNode
+from repro.tasks.task import DataObject, Footprint
+
+__all__ = ["TaskHandle", "DAGBuilder", "spawn_program"]
+
+
+@dataclass(frozen=True)
+class TaskHandle:
+    """Opaque reference returned by ``spawn``; usable in later ``deps``."""
+
+    task_id: str
+
+
+def _dep_id(dep: "str | TaskHandle") -> str:
+    return dep.task_id if isinstance(dep, TaskHandle) else str(dep)
+
+
+class DAGBuilder:
+    """Records data objects and task nodes, then builds a :class:`TaskDAG`.
+
+    Dependencies may only name tasks spawned *earlier* -- the program order
+    of a task-parallel frontend -- which keeps builder-produced graphs
+    acyclic by construction (directly constructed :class:`TaskDAG`\\ s are
+    still cycle-checked).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._objects: dict[str, DataObject] = {}
+        self._nodes: list[TaskNode] = []
+        self._ids: set[str] = set()
+        #: per object: the task that last wrote it
+        self._last_writer: dict[str, str] = {}
+        #: per object: tasks that read it since the last write
+        self._readers: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    def declare_object(self, obj: DataObject) -> DataObject:
+        if obj.name in self._objects:
+            raise ValueError(f"object {obj.name!r} already declared")
+        self._objects[obj.name] = obj
+        return obj
+
+    # ------------------------------------------------------------------
+    def add_task(
+        self,
+        task_id: str,
+        footprint: Footprint,
+        deps: Sequence["str | TaskHandle"] = (),
+        reads: Iterable[str] = (),
+        writes: Iterable[str] = (),
+        input_vector: Sequence[float] = (),
+    ) -> TaskHandle:
+        """Record one task node (the explicit builder used by tests)."""
+        if task_id in self._ids:
+            raise ValueError(f"duplicate task id {task_id!r}")
+        explicit = tuple(dict.fromkeys(_dep_id(d) for d in deps))
+        for dep in explicit:
+            if dep == task_id:
+                raise ValueError(f"task {task_id!r} depends on itself")
+            if dep not in self._ids:
+                raise ValueError(
+                    f"task {task_id!r} depends on unknown task {dep!r} "
+                    "(dependencies must be spawned first)"
+                )
+        reads = tuple(dict.fromkeys(reads))
+        writes = tuple(dict.fromkeys(writes))
+        for obj in reads + writes:
+            if obj not in self._objects:
+                raise ValueError(
+                    f"task {task_id!r} declares undeclared object {obj!r}"
+                )
+        inferred = self._infer_deps(task_id, reads, writes)
+        node = TaskNode(
+            task_id=task_id,
+            footprint=footprint,
+            explicit_deps=explicit,
+            inferred_deps=tuple(d for d in inferred if d not in explicit),
+            reads=reads,
+            writes=writes,
+            input_vector=tuple(input_vector),
+        )
+        self._nodes.append(node)
+        self._ids.add(task_id)
+        self._track_accesses(task_id, reads, writes)
+        return TaskHandle(task_id)
+
+    def _infer_deps(
+        self, task_id: str, reads: tuple[str, ...], writes: tuple[str, ...]
+    ) -> tuple[str, ...]:
+        out: list[str] = []
+        for obj in reads:
+            # read-after-write: wait for the object's producer
+            writer = self._last_writer.get(obj)
+            if writer is not None and writer != task_id:
+                out.append(writer)
+        for obj in writes:
+            # write-after-write: writes to one object are ordered
+            writer = self._last_writer.get(obj)
+            if writer is not None and writer != task_id:
+                out.append(writer)
+            # write-after-read: readers of the old value must finish first
+            for reader in self._readers.get(obj, ()):
+                if reader != task_id:
+                    out.append(reader)
+        return tuple(dict.fromkeys(out))
+
+    def _track_accesses(
+        self, task_id: str, reads: tuple[str, ...], writes: tuple[str, ...]
+    ) -> None:
+        for obj in reads:
+            self._readers.setdefault(obj, []).append(task_id)
+        for obj in writes:
+            self._last_writer[obj] = task_id
+            self._readers[obj] = []
+
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        task_id: str,
+        deps: Sequence["str | TaskHandle"] = (),
+        reads: Iterable[str] = (),
+        writes: Iterable[str] = (),
+        input_vector: Sequence[float] = (),
+    ) -> Callable[[Callable[[], Footprint]], TaskHandle]:
+        """Decorator form: the function body produces the task's footprint
+        and is invoked immediately (spawn-time), mirroring Parla's eager
+        task creation."""
+
+        def decorate(fn: Callable[[], Footprint]) -> TaskHandle:
+            footprint = fn()
+            if not isinstance(footprint, Footprint):
+                raise TypeError(
+                    f"@spawn({task_id!r}) body must return a Footprint, "
+                    f"got {type(footprint).__name__}"
+                )
+            return self.add_task(
+                task_id,
+                footprint,
+                deps=deps,
+                reads=reads,
+                writes=writes,
+                input_vector=input_vector,
+            )
+
+        return decorate
+
+    # ------------------------------------------------------------------
+    def build(self) -> TaskDAG:
+        if not self._nodes:
+            raise ValueError(f"DAG {self.name!r} is empty: spawn at least one task")
+        return TaskDAG(
+            name=self.name,
+            objects=tuple(self._objects.values()),
+            nodes=tuple(self._nodes),
+        )
+
+
+def spawn_program(
+    name: str, body: Callable[[DAGBuilder], None]
+) -> TaskDAG:
+    """Run ``body`` against a fresh builder and return the built DAG."""
+    builder = DAGBuilder(name)
+    body(builder)
+    return builder.build()

@@ -96,6 +96,10 @@ class EngineContext:
         self.region_index = -1
         #: instance progress in [0, 1] by task id (current region)
         self.progress: dict[str, float] = {}
+        #: task ids whose intra-region gates have not opened yet (empty for
+        #: classic barrier regions); gated instances make no progress and
+        #: are invisible to :meth:`active_instances`
+        self.gated: set[str] = set()
         #: latest instantaneous execution-time estimate by task id
         self.instance_times: dict[str, float] = {}
         self.pages_migrated = 0
@@ -118,6 +122,7 @@ class EngineContext:
             inst
             for inst in self.region.instances
             if self.progress.get(inst.task_id, 0.0) < 1.0
+            and inst.task_id not in self.gated
         ]
 
     def page_access_rates(self) -> dict[str, np.ndarray]:
@@ -427,6 +432,7 @@ class Engine:
             ctx.region = region
             ctx.region_index = idx
             ctx.progress = {inst.task_id: 0.0 for inst in region.instances}
+            ctx.gated = set(region.gate_map())
             region_span = (
                 tel.tracer.begin(
                     "region", ctx.time, track="virtual",
@@ -626,6 +632,14 @@ class Engine:
         tel = self.telemetry
         start = ctx.time
         finish: dict[str, float] = {}
+        gates = region.gate_map()
+        #: task id -> virtual time the instance was released to run (region
+        #: start for ungated instances, gate-open tick for gated ones)
+        released: dict[str, float] = {
+            inst.task_id: start
+            for inst in region.instances
+            if inst.task_id not in ctx.gated
+        }
 
         # tick size tracks the slowest instance: the region lives that long,
         # and short instances complete mid-tick via interpolation.  Tying dt
@@ -658,8 +672,22 @@ class Engine:
                 )
             if self.faults is not None and self.faults.crash_due("tick", ctx.time):
                 raise self._crash(ctx)
+            if ctx.gated:
+                # open any gates whose dependencies have all finished; the
+                # released instance starts progressing from this tick
+                for tid in sorted(ctx.gated):
+                    if all(dep in finish for dep in gates[tid]):
+                        ctx.gated.discard(tid)
+                        released[tid] = ctx.time
             fractions = ctx.dram_fractions()
             active = ctx.active_instances()
+            if not active and ctx.gated:
+                # unreachable for validated DAG gates (ParallelRegion rejects
+                # cycles), kept as a runaway guard
+                raise RuntimeError(
+                    f"region {region.name!r}: gated instances "
+                    f"{sorted(ctx.gated)} can never be released"
+                )
 
             # phase 1: unconstrained progress and per-tier byte demand.
             # Demand sums stay sequential Python adds in instance order so
@@ -844,7 +872,7 @@ class Engine:
                 "barrier", first, end - first,
                 track="virtual", tasks=len(finish),
             )
-        busy = {t: finish[t] - start for t in finish}
+        busy = {t: finish[t] - released.get(t, start) for t in finish}
         wait = {t: end - finish[t] for t in finish}
         return RegionResult(
             name=region.name, start_s=start, end_s=end, busy_s=busy, wait_s=wait

@@ -227,11 +227,19 @@ class ParallelRegion:
     vs numeric passes of SpGEMM).  Per Section 2 of the paper, task instances
     whose algorithm or access patterns differ must be classified as different
     tasks -- Merchandiser therefore profiles and predicts per (task, kind).
+
+    ``gates`` generalises the barrier to intra-region dependencies (the DAG
+    runtime, ``repro.runtime``): a gated instance makes no progress until
+    every named instance has finished.  ``None`` keeps classic barrier
+    semantics -- every instance starts at the region start.  Gate edges must
+    stay within the region and form a DAG.
     """
 
     name: str
     instances: tuple[TaskInstanceSpec, ...]
     kind: str = ""
+    #: normalised ``((task_id, (dep_id, ...)), ...)``; accepts a mapping
+    gates: tuple[tuple[str, tuple[str, ...]], ...] | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "instances", tuple(self.instances))
@@ -240,6 +248,65 @@ class ParallelRegion:
         ids = [i.task_id for i in self.instances]
         if len(set(ids)) != len(ids):
             raise ValueError(f"region {self.name!r} has duplicate task ids")
+        if self.gates is not None:
+            items = (
+                self.gates.items()
+                if isinstance(self.gates, Mapping)
+                else self.gates
+            )
+            norm = tuple(
+                (str(tid), tuple(str(d) for d in deps)) for tid, deps in items
+            )
+            object.__setattr__(self, "gates", norm)
+            self._validate_gates(norm, set(ids))
+
+    def _validate_gates(
+        self,
+        gates: tuple[tuple[str, tuple[str, ...]], ...],
+        known: set[str],
+    ) -> None:
+        seen: set[str] = set()
+        deps_of: dict[str, tuple[str, ...]] = {}
+        for tid, deps in gates:
+            if tid in seen:
+                raise ValueError(f"region {self.name!r}: duplicate gate for {tid!r}")
+            seen.add(tid)
+            if tid not in known:
+                raise ValueError(f"region {self.name!r}: gate for unknown task {tid!r}")
+            for dep in deps:
+                if dep not in known:
+                    raise ValueError(
+                        f"region {self.name!r}: task {tid!r} gated on unknown "
+                        f"task {dep!r}"
+                    )
+                if dep == tid:
+                    raise ValueError(
+                        f"region {self.name!r}: task {tid!r} gated on itself"
+                    )
+            deps_of[tid] = deps
+        # Kahn's algorithm over the gate edges: anything left is a cycle
+        indeg = {tid: len(deps_of.get(tid, ())) for tid in known}
+        ready = [tid for tid, d in indeg.items() if d == 0]
+        done = 0
+        succ: dict[str, list[str]] = {}
+        for tid, deps in deps_of.items():
+            for dep in deps:
+                succ.setdefault(dep, []).append(tid)
+        while ready:
+            done += 1
+            tid = ready.pop()
+            for nxt in succ.get(tid, ()):
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    ready.append(nxt)
+        if done != len(known):
+            raise ValueError(f"region {self.name!r}: gates contain a cycle")
+
+    def gate_map(self) -> dict[str, tuple[str, ...]]:
+        """Gates as a plain mapping (empty when the region is a barrier)."""
+        if self.gates is None:
+            return {}
+        return {tid: deps for tid, deps in self.gates if deps}
 
     @property
     def task_ids(self) -> tuple[str, ...]:
