@@ -19,7 +19,12 @@ from typing import Mapping
 
 from repro.core.correlation import CorrelationFunction
 
-__all__ = ["TaskModelInputs", "PerformanceModel"]
+__all__ = [
+    "TaskModelInputs",
+    "PerformanceModel",
+    "TieredTaskInputs",
+    "TieredPerformanceModel",
+]
 
 
 @dataclass(frozen=True)
@@ -112,3 +117,114 @@ class PerformanceModel:
             )
             out[t.task_id] = np.where(ratios >= 1.0, t.t_dram_only, times)
         return out
+
+# ----------------------------------------------------------------------
+# N-tier generalisation (effective-ratio reduction)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TieredTaskInputs:
+    """A task's model inputs on an N-tier topology.
+
+    ``tier_times[k]`` is the homogeneous endpoint: execution time with all
+    accesses served by tier ``k`` (fastest first).  The 2-tier case is
+    ``(t_dram_only, t_pm_only)``.
+    """
+
+    task_id: str
+    tier_times: tuple[float, ...]
+    total_accesses: float
+    pmcs: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if len(self.tier_times) < 2:
+            raise ValueError("need endpoints for at least two tiers")
+        for t in self.tier_times:
+            if t <= 0:
+                raise ValueError("endpoint times must be positive")
+        if self.total_accesses <= 0:
+            raise ValueError("total_accesses must be positive")
+
+    @property
+    def n_tiers(self) -> int:
+        return len(self.tier_times)
+
+    def slowdown_weights(self) -> tuple[float, ...]:
+        """Per-tier speed weight ``s_k`` in [0, 1]: 1 for the fastest tier,
+        0 for the slowest, interpolated by where the tier's homogeneous
+        endpoint sits between the two extremes.  An access to tier ``k``
+        counts as ``s_k`` of a fastest-tier access in the effective ratio.
+        """
+        t_fast = self.tier_times[0]
+        t_slow = self.tier_times[-1]
+        span = t_slow - t_fast
+        if span <= 0.0:
+            # degenerate machine: every tier equally fast; any placement
+            # behaves like r = 1 on the fastest tier
+            return (1.0,) + (0.0,) * (self.n_tiers - 1)
+        weights = [1.0]
+        for t in self.tier_times[1:-1]:
+            w = (t_slow - t) / span
+            weights.append(min(1.0, max(0.0, w)))
+        weights.append(0.0)
+        return tuple(weights)
+
+    def as_two_tier(self) -> TaskModelInputs:
+        """The Equation-2 view: fastest tier as DRAM, slowest as PM."""
+        return TaskModelInputs(
+            task_id=self.task_id,
+            t_pm_only=self.tier_times[-1],
+            t_dram_only=self.tier_times[0],
+            total_accesses=self.total_accesses,
+            pmcs=self.pmcs,
+        )
+
+    @classmethod
+    def from_two_tier(cls, task: TaskModelInputs) -> "TieredTaskInputs":
+        return cls(
+            task_id=task.task_id,
+            tier_times=(task.t_dram_only, task.t_pm_only),
+            total_accesses=task.total_accesses,
+            pmcs=task.pmcs,
+        )
+
+
+class TieredPerformanceModel:
+    """Equation 2 lifted to N tiers by the effective-ratio reduction.
+
+    A placement vector ``r`` (fraction of accesses per tier, summing to 1)
+    is collapsed to one scalar ``r_eff = sum(r_k * s_k)`` using the
+    slowdown weights above, then priced with the trained 2-tier model
+    between the fastest and slowest endpoints.  With ``n = 2`` the weights
+    are exactly ``(1, 0)``, so ``r_eff == r_dram`` and every prediction is
+    bit-identical to :class:`PerformanceModel` -- the degenerate case the
+    conformance harness pins down.
+    """
+
+    def __init__(self, model: PerformanceModel) -> None:
+        self.model = model
+
+    @property
+    def correlation(self):
+        return self.model.correlation
+
+    def effective_ratio(self, task: TieredTaskInputs, fractions) -> float:
+        if len(fractions) != task.n_tiers:
+            raise ValueError(
+                f"{task.task_id}: fraction vector has {len(fractions)} "
+                f"entries for {task.n_tiers} tiers"
+            )
+        weights = task.slowdown_weights()
+        r_eff = 0.0
+        for r, s in zip(fractions, weights):
+            r_eff += min(1.0, max(0.0, float(r))) * s
+        return min(1.0, r_eff)
+
+    def predict_fractions(self, task: TieredTaskInputs, fractions) -> float:
+        """T_hybrid for a per-tier access-fraction vector."""
+        r_eff = self.effective_ratio(task, fractions)
+        return self.model.predict_ratio(task.as_two_tier(), r_eff)
+
+    def ratio_grid(self, task: TieredTaskInputs, ratios) -> "np.ndarray":
+        """Grid over the *effective* ratio (fastest-tier equivalents)."""
+        return self.model.ratio_grid(task.as_two_tier(), ratios)

@@ -31,9 +31,23 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.common import PAGE_SIZE, scalar_kernels_enabled
-from repro.core.model import PerformanceModel, TaskModelInputs
+from repro.core.model import (
+    PerformanceModel,
+    TaskModelInputs,
+    TieredPerformanceModel,
+    TieredTaskInputs,
+)
 
-__all__ = ["TaskQuota", "PlanResult", "greedy_plan", "optimal_quotas", "throughput_plan"]
+__all__ = [
+    "TaskQuota",
+    "PlanResult",
+    "TieredTaskQuota",
+    "TieredPlanResult",
+    "greedy_plan",
+    "tiered_greedy_plan",
+    "optimal_quotas",
+    "throughput_plan",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +78,32 @@ class PlanResult:
 
     def r_by_task(self) -> dict[str, float]:
         return {q.task_id: q.r_dram for q in self.quotas}
+
+    def to_jsonable(self) -> dict:
+        return {
+            "predicted_makespan_s": self.predicted_makespan_s,
+            "dram_pages_used": self.dram_pages_used,
+            "rounds": self.rounds,
+            "quotas": [
+                {
+                    "task_id": q.task_id,
+                    "dram_accesses": q.dram_accesses,
+                    "r_dram": q.r_dram,
+                    "dram_pages": q.dram_pages,
+                    "predicted_time_s": q.predicted_time_s,
+                }
+                for q in self.quotas
+            ],
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "PlanResult":
+        return cls(
+            quotas=tuple(TaskQuota(**q) for q in payload["quotas"]),
+            predicted_makespan_s=payload["predicted_makespan_s"],
+            dram_pages_used=payload["dram_pages_used"],
+            rounds=payload["rounds"],
+        )
 
 
 def _pages_for(task_pages: int, r: float) -> int:
@@ -192,12 +232,19 @@ def _greedy_plan_scalar(
         for tid in order:
             if overshoot <= 0:
                 break
-            removable = _pages_for(task_pages[tid], r[tid])
-            shrink_pages = min(removable, overshoot)
-            shrunk = max(0.0, r[tid] - shrink_pages / task_pages[tid])
-            r[tid] = np.floor(shrunk / step) * step
-            d_pred[tid] = float(grid[tid][level_index(r[tid])])
-            overshoot = pages_used() - capacity_pages
+            # flooring to the step grid then re-ceiling the pages can land
+            # exactly one page back over capacity, so keep shrinking this
+            # task until its contribution fits (or it reaches zero)
+            while overshoot > 0 and r[tid] > 0.0:
+                removable = _pages_for(task_pages[tid], r[tid])
+                shrink_pages = min(removable, overshoot)
+                shrunk = max(0.0, r[tid] - shrink_pages / task_pages[tid])
+                new_r = float(np.floor(shrunk / step) * step)
+                if new_r >= r[tid]:  # force at least one grid step down
+                    new_r = max(0.0, float((round(r[tid] / step) - 1) * step))
+                r[tid] = new_r
+                d_pred[tid] = float(grid[tid][level_index(r[tid])])
+                overshoot = pages_used() - capacity_pages
 
     quotas = tuple(
         TaskQuota(
@@ -305,12 +352,22 @@ def _greedy_plan_kernel(
             if overshoot <= 0:
                 break
             i = int(i)
-            removable = _pages_for(int(pages_arr[i]), float(r_arr[i]))
-            shrink_pages = min(removable, overshoot)
-            shrunk = max(0.0, r_arr[i] - shrink_pages / int(pages_arr[i]))
-            set_quota(i, float(np.floor(shrunk / step) * step))
-            d_pred[i] = float(grid_mat[i][level_index(float(r_arr[i]))])
-            overshoot = used - capacity_pages
+            # flooring to the step grid then re-ceiling the pages can land
+            # exactly one page back over capacity, so keep shrinking this
+            # task until its contribution fits (or it reaches zero) --
+            # same loop as the scalar path, floats and all
+            while overshoot > 0 and r_arr[i] > 0.0:
+                removable = _pages_for(int(pages_arr[i]), float(r_arr[i]))
+                shrink_pages = min(removable, overshoot)
+                shrunk = max(0.0, r_arr[i] - shrink_pages / int(pages_arr[i]))
+                new_r = float(np.floor(shrunk / step) * step)
+                if new_r >= float(r_arr[i]):  # force one grid step down
+                    new_r = max(
+                        0.0, float((round(float(r_arr[i]) / step) - 1) * step)
+                    )
+                set_quota(i, new_r)
+                d_pred[i] = float(grid_mat[i][level_index(float(r_arr[i]))])
+                overshoot = used - capacity_pages
 
     quotas = tuple(
         TaskQuota(
@@ -657,4 +714,242 @@ def _throughput_plan_kernel(
         predicted_makespan_s=max(q.predicted_time_s for q in quotas),
         dram_pages_used=int(page_counts.sum()),
         rounds=int(level_idx.sum()),
+    )
+
+# ----------------------------------------------------------------------
+# N-tier allocation (capacity vector instead of a single DRAM budget)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TieredTaskQuota:
+    """Planner output for one task on an N-tier topology.
+
+    ``fractions[k]``/``pages[k]`` is the task's access fraction / page
+    count on tier ``k`` (fastest first; fractions sum to 1).
+    """
+
+    task_id: str
+    fractions: tuple[float, ...]
+    pages: tuple[int, ...]
+    effective_ratio: float
+    predicted_time_s: float
+
+
+@dataclass(frozen=True)
+class TieredPlanResult:
+    """N-tier planner output; per-tier usage replaces the DRAM scalar."""
+
+    quotas: tuple[TieredTaskQuota, ...]
+    predicted_makespan_s: float
+    pages_used: tuple[int, ...]
+    rounds: int
+
+    def quota(self, task_id: str) -> TieredTaskQuota:
+        for q in self.quotas:
+            if q.task_id == task_id:
+                return q
+        raise KeyError(task_id)
+
+    def fractions_by_task(self) -> dict[str, tuple[float, ...]]:
+        return {q.task_id: q.fractions for q in self.quotas}
+
+    def to_jsonable(self) -> dict:
+        return {
+            "predicted_makespan_s": self.predicted_makespan_s,
+            "pages_used": list(self.pages_used),
+            "rounds": self.rounds,
+            "quotas": [
+                {
+                    "task_id": q.task_id,
+                    "fractions": list(q.fractions),
+                    "pages": list(q.pages),
+                    "effective_ratio": q.effective_ratio,
+                    "predicted_time_s": q.predicted_time_s,
+                }
+                for q in self.quotas
+            ],
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "TieredPlanResult":
+        return cls(
+            quotas=tuple(
+                TieredTaskQuota(
+                    task_id=q["task_id"],
+                    fractions=tuple(q["fractions"]),
+                    pages=tuple(q["pages"]),
+                    effective_ratio=q["effective_ratio"],
+                    predicted_time_s=q["predicted_time_s"],
+                )
+                for q in payload["quotas"]
+            ),
+            predicted_makespan_s=payload["predicted_makespan_s"],
+            pages_used=tuple(payload["pages_used"]),
+            rounds=payload["rounds"],
+        )
+
+
+def tiered_greedy_plan(
+    tasks: Sequence[TieredTaskInputs],
+    model: "PerformanceModel | TieredPerformanceModel",
+    capacities_bytes: Sequence[int],
+    task_bytes: Mapping[str, int],
+    step: float = 0.05,
+) -> TieredPlanResult:
+    """Algorithm 1 generalised to a per-tier capacity vector.
+
+    With exactly two tiers this *delegates* to :func:`greedy_plan` and
+    re-expresses its result as fraction/page vectors, so the paper's
+    2-tier plans are bit-identical through this entry point (the
+    conformance harness pins that down).  With more tiers the same
+    longest-task-first loop runs, but a growth step promotes a ``step``
+    slice of the task's pages from its slowest occupied tier into the
+    fastest tier with free capacity; predicted times come from the
+    effective-ratio reduction (:class:`TieredPerformanceModel`).  No tier
+    is ever over-committed: promotions are clamped to per-tier free pages
+    and the initial placement waterfalls from the slowest tier up.
+    """
+    if not tasks:
+        raise ValueError("no tasks to plan for")
+    if not 0.0 < step <= 1.0:
+        raise ValueError("step must be in (0, 1]")
+    caps = tuple(int(c) for c in capacities_bytes)
+    n_tiers = len(caps)
+    if n_tiers < 2:
+        raise ValueError("need a capacity for at least two tiers")
+    for t in tasks:
+        if t.n_tiers != n_tiers:
+            raise ValueError(
+                f"task {t.task_id!r} has {t.n_tiers} tier endpoints for a "
+                f"{n_tiers}-tier capacity vector"
+            )
+    tmodel = (
+        model
+        if isinstance(model, TieredPerformanceModel)
+        else TieredPerformanceModel(model)
+    )
+
+    two_tier = [t.as_two_tier() for t in tasks]
+    task_pages = _task_pages_map(two_tier, task_bytes)
+
+    if n_tiers == 2:
+        plan = greedy_plan(two_tier, tmodel.model, caps[0], task_bytes, step)
+        quotas = []
+        for q in plan.quotas:
+            tp = task_pages[q.task_id]
+            slow_pages = max(0, tp - q.dram_pages)
+            quotas.append(
+                TieredTaskQuota(
+                    task_id=q.task_id,
+                    fractions=(q.r_dram, 1.0 - q.r_dram),
+                    pages=(q.dram_pages, slow_pages),
+                    effective_ratio=q.r_dram,
+                    predicted_time_s=q.predicted_time_s,
+                )
+            )
+        return TieredPlanResult(
+            quotas=tuple(quotas),
+            predicted_makespan_s=plan.predicted_makespan_s,
+            pages_used=(
+                plan.dram_pages_used,
+                sum(q.pages[1] for q in quotas),
+            ),
+            rounds=plan.rounds,
+        )
+
+    # ---- general N-tier case -----------------------------------------
+    cap_pages = [c // PAGE_SIZE for c in caps]
+    ids = [t.task_id for t in tasks]
+    if sum(task_pages.values()) > sum(cap_pages):
+        raise ValueError("workload does not fit in the topology")
+
+    # initial placement: waterfall from the slowest tier up (what a
+    # first-touch-in-far-memory system gives you), in task input order
+    pages: dict[str, list[int]] = {tid: [0] * n_tiers for tid in ids}
+    free = list(cap_pages)
+    for tid in ids:
+        remaining = task_pages[tid]
+        for k in range(n_tiers - 1, -1, -1):
+            take = min(remaining, free[k])
+            pages[tid][k] = take
+            free[k] -= take
+            remaining -= take
+            if remaining == 0:
+                break
+
+    levels = _step_levels(step)
+    grid = {t.task_id: tmodel.ratio_grid(t, levels) for t in tasks}
+    weights = {t.task_id: t.slowdown_weights() for t in tasks}
+
+    def level_index(value: float) -> int:
+        return int(np.clip(round(value / step), 0, len(levels) - 1))
+
+    def effective_ratio(tid: str) -> float:
+        tp = task_pages[tid]
+        w = weights[tid]
+        return min(
+            1.0, sum(pages[tid][k] / tp * w[k] for k in range(n_tiers))
+        )
+
+    def predicted(tid: str) -> float:
+        return float(grid[tid][level_index(effective_ratio(tid))])
+
+    def promote(tid: str) -> int:
+        """Move one step's worth of pages up a tier; returns pages moved."""
+        want = max(1, int(np.ceil(step * task_pages[tid])))
+        src = -1
+        for k in range(n_tiers - 1, 0, -1):
+            if pages[tid][k] > 0:
+                src = k
+                break
+        if src < 0:
+            return 0  # everything already in the fastest tier
+        for dst in range(src):
+            if free[dst] > 0:
+                moved = min(want, pages[tid][src], free[dst])
+                pages[tid][src] -= moved
+                pages[tid][dst] += moved
+                free[src] += moved
+                free[dst] -= moved
+                return moved
+        return 0  # nothing faster has room
+
+    d_pred = {tid: predicted(tid) for tid in ids}
+    saturated: set[str] = set()
+    rounds = 0
+    while True:
+        rounds += 1
+        candidates = [tid for tid in ids if tid not in saturated]
+        if not candidates:
+            break
+        longest = max(candidates, key=lambda tid: d_pred[tid])
+        others = [d_pred[tid] for tid in ids if tid != longest]
+        second_t = max(others) if others else 0.0
+        while True:
+            if promote(longest) == 0:
+                saturated.add(longest)
+                break
+            d_pred[longest] = predicted(longest)
+            if d_pred[longest] <= second_t:
+                break
+
+    quotas = tuple(
+        TieredTaskQuota(
+            task_id=tid,
+            fractions=tuple(
+                pages[tid][k] / task_pages[tid] for k in range(n_tiers)
+            ),
+            pages=tuple(pages[tid]),
+            effective_ratio=effective_ratio(tid),
+            predicted_time_s=d_pred[tid],
+        )
+        for tid in ids
+    )
+    return TieredPlanResult(
+        quotas=quotas,
+        predicted_makespan_s=max(d_pred.values()),
+        pages_used=tuple(
+            sum(pages[tid][k] for tid in ids) for k in range(n_tiers)
+        ),
+        rounds=rounds,
     )

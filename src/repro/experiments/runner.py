@@ -45,6 +45,7 @@ from repro.experiments import (
     fig5,
     fig6,
     fig7,
+    multitier,
     observability,
     overhead,
     recovery,
@@ -76,6 +77,7 @@ EXPERIMENTS = {
     "sensitivity": sensitivity.run,
     "robustness": robustness.run,
     "recovery": recovery.run,
+    "multitier": multitier.run,
     "observability": observability.run,
     "service_load": service_load.run,
     "transport_load": transport_load.run,
@@ -101,6 +103,7 @@ DEFAULT_ORDER = (
     "sensitivity",
     "robustness",
     "recovery",
+    "multitier",
     "observability",
     "service_load",
     "transport_load",

@@ -338,7 +338,9 @@ KERNEL_ENTRY_POINTS: tuple[str, ...] = (
     "repro.core.planner.optimal_quotas",
     "repro.core.planner.throughput_plan",
     "repro.sim.kernels.BreakdownKernel",
+    "repro.sim.kernels.TieredBreakdownKernel",
     "repro.sim.pages.PageTable.weight_arena",
     "repro.sim.pages.PageTable.residency_arena",
     "repro.sim.pages.PageTable.object_slice",
+    "repro.sim.pages.TieredPageTable.residency_arena",
 )

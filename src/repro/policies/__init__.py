@@ -1,0 +1,29 @@
+"""Competing placement-policy backends behind one registry.
+
+Every backend is an engine :class:`~repro.sim.engine.PlacementPolicy` that
+works on 2-tier and N-tier topologies alike; the registry
+(:mod:`repro.policies.registry`) is what the multitier experiment and the
+policy-conformance harness enumerate.
+"""
+
+from repro.policies.registry import (
+    PolicyBuildContext,
+    PolicySpec,
+    build_policy,
+    register_policy,
+    registered_policies,
+)
+from repro.policies.merchandiser import TieredMerchandiserPolicy
+from repro.policies.ltr import LearnedRankingPolicy
+from repro.policies.interval import IntervalReconfigPolicy
+
+__all__ = [
+    "PolicyBuildContext",
+    "PolicySpec",
+    "build_policy",
+    "register_policy",
+    "registered_policies",
+    "TieredMerchandiserPolicy",
+    "LearnedRankingPolicy",
+    "IntervalReconfigPolicy",
+]

@@ -28,10 +28,15 @@ import numpy as np
 
 from repro.common import PAGE_SIZE, make_rng, scalar_kernels_enabled
 from repro.sim.faults import FaultInjector, RobustnessReport
-from repro.sim.kernels import BreakdownKernel
-from repro.sim.machine import MachineModel, TimeBreakdown
-from repro.sim.memspec import HMConfig
-from repro.sim.pages import MigrationBatch, PageTable
+from repro.sim.kernels import BreakdownKernel, TieredBreakdownKernel
+from repro.sim.machine import MachineModel, TieredBreakdown, TimeBreakdown
+from repro.sim.memspec import HMConfig, TopologySpec
+from repro.sim.pages import (
+    MigrationBatch,
+    PageTable,
+    TieredMigrationBatch,
+    TieredPageTable,
+)
 from repro.tasks.task import ParallelRegion, TaskInstanceSpec, Workload
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -74,18 +79,22 @@ class EngineContext:
     def __init__(
         self,
         workload: Workload,
-        page_table: PageTable,
+        page_table: "PageTable | TieredPageTable",
         machine: MachineModel,
         hm: HMConfig,
         rng: np.random.Generator,
         faults: FaultInjector | None = None,
         telemetry: "Telemetry | None" = None,
+        topology: TopologySpec | None = None,
     ) -> None:
         self.workload = workload
         self.page_table = page_table
         self.machine = machine
         self.hm = hm
         self.rng = rng
+        #: the full topology (always set; 2-tier view of ``hm`` when the
+        #: engine was built the classic way)
+        self.topology = topology if topology is not None else TopologySpec.from_hm(hm)
         #: fault injector the engine and profilers consult (None = healthy)
         self.faults = faults
         #: shared telemetry (repro.core.telemetry); policies read it off the
@@ -115,6 +124,10 @@ class EngineContext:
     def dram_fractions(self) -> dict[str, float]:
         """Current per-object access-weighted DRAM fractions."""
         return self.page_table.access_fractions()
+
+    def tier_fraction_vectors(self) -> "dict[str, np.ndarray]":
+        """Per-object per-tier access-fraction vectors (N-tier runs)."""
+        return self.page_table.access_fraction_vectors()
 
     def active_instances(self) -> list[TaskInstanceSpec]:
         assert self.region is not None
@@ -257,11 +270,35 @@ class Engine:
         faults: FaultInjector | None = None,
         journal: "WriteAheadLog | None" = None,
         telemetry: "Telemetry | None" = None,
+        topology: TopologySpec | None = None,
     ) -> None:
         from repro.sim.memspec import optane_hm_config
 
         self.machine = machine or MachineModel()
-        self.hm = hm or optane_hm_config()
+        if topology is not None:
+            if hm is not None:
+                raise ValueError("pass either hm or topology, not both")
+            self.topology = topology
+            if topology.n_tiers == 2:
+                # degenerate case: run the classic 2-tier engine verbatim so
+                # every float matches the HMConfig pipeline bit for bit
+                self.hm = topology.to_hm()
+            else:
+                if journal is not None:
+                    raise ValueError(
+                        "crash journaling is only supported on 2-tier topologies"
+                    )
+                # fastest/slowest compatibility view; only consulted for
+                # knobs shared with the 2-tier loop (never for pricing)
+                self.hm = HMConfig(
+                    dram=topology.fastest,
+                    pm=topology.slowest,
+                    page_migration_overhead_s=topology.page_migration_overhead_s,
+                )
+        else:
+            self.hm = hm or optane_hm_config()
+            self.topology = TopologySpec.from_hm(self.hm)
+        self._tiered = self.topology.n_tiers > 2
         self.config = config or EngineConfig()
         #: optional fault injector; consulted by the tick loop and exposed
         #: to policies/profilers through the engine context
@@ -297,12 +334,18 @@ class Engine:
         """
         rng = make_rng(seed)
         if page_table is None:
-            page_table = PageTable(
-                workload.objects, self.hm.dram.capacity_bytes, rng=rng
-            )
+            if self._tiered:
+                page_table = TieredPageTable(
+                    workload.objects, self.topology.capacity_vector(), rng=rng
+                )
+            else:
+                page_table = PageTable(
+                    workload.objects, self.hm.dram.capacity_bytes, rng=rng
+                )
         ctx = EngineContext(
             workload, page_table, self.machine, self.hm, rng,
             faults=self.faults, telemetry=self.telemetry,
+            topology=self.topology,
         )
         if self.telemetry is not None:
             self.telemetry.inc("merch_engine_runs_total")
@@ -331,6 +374,8 @@ class Engine:
         """
         from repro.core.journal import recover_journal
 
+        if self._tiered:
+            raise ValueError("crash recovery is only supported on 2-tier topologies")
         journal = image.journal if image.journal is not None else self.journal
         if journal is None:
             raise ValueError("cannot recover a run that was not journaled")
@@ -345,6 +390,7 @@ class Engine:
         ctx = EngineContext(
             workload, image.page_table, self.machine, self.hm, rng,
             faults=self.faults, telemetry=self.telemetry,
+            topology=self.topology,
         )
         ctx.time = outcome.resume_time_s
         if self.telemetry is not None:
@@ -449,9 +495,14 @@ class Engine:
             begin_payload: dict | None = None
             if self.journal is not None:
                 epoch, begin_payload = self._journal_epoch_begin(ctx, policy)
-            result = self._run_region(
-                ctx, policy, epoch, trace_t, trace_d, trace_p, trace_m
-            )
+            if self._tiered:
+                result = self._run_tiered_region(
+                    ctx, policy, trace_t, trace_d, trace_p, trace_m
+                )
+            else:
+                result = self._run_region(
+                    ctx, policy, epoch, trace_t, trace_d, trace_p, trace_m
+                )
             regions.append(result)
             policy.on_region_end(ctx)
             if self.journal is not None:
@@ -608,8 +659,15 @@ class Engine:
 
     # ------------------------------------------------------------------
     def _refresh_times(self, ctx: EngineContext) -> None:
-        fractions = ctx.dram_fractions()
         assert ctx.region is not None
+        if self._tiered:
+            vectors = ctx.tier_fraction_vectors()
+            for inst in ctx.region.instances:
+                ctx.instance_times[inst.task_id] = self.machine.breakdown_tiered(
+                    inst.footprint, self.topology, vectors
+                ).total_s
+            return
+        fractions = ctx.dram_fractions()
         for inst in ctx.region.instances:
             ctx.instance_times[inst.task_id] = self.machine.instance_time(
                 inst.footprint, self.hm, fractions
@@ -878,6 +936,278 @@ class Engine:
             name=region.name, start_s=start, end_s=end, busy_s=busy, wait_s=wait
         )
 
+    # ------------------------------------------------------------------
+    def _run_tiered_region(
+        self,
+        ctx: EngineContext,
+        policy: PlacementPolicy,
+        trace_t: list[float],
+        trace_d: list[float],
+        trace_p: list[float],
+        trace_m: list[float],
+    ) -> RegionResult:
+        """N-tier twin of :meth:`_run_region` (>2 tiers only).
+
+        Same three phases per tick, generalised: per-tier byte demand and
+        contention scaling, pressure spikes steal fastest-tier capacity,
+        and policies move pages with :class:`TieredMigrationBatch`.  Crash
+        journaling is excluded by construction (guarded in ``__init__``).
+        """
+        cfg = self.config
+        topo = self.topology
+        n = topo.n_tiers
+        region = ctx.region
+        assert region is not None
+        table = ctx.page_table
+        assert isinstance(table, TieredPageTable)
+        tel = self.telemetry
+        start = ctx.time
+        finish: dict[str, float] = {}
+        gates = region.gate_map()
+        released: dict[str, float] = {
+            inst.task_id: start
+            for inst in region.instances
+            if inst.task_id not in ctx.gated
+        }
+
+        max_t = max(ctx.instance_times[i.task_id] for i in region.instances)
+        dt = max(max_t / cfg.ticks_per_instance, 1e-9)
+        mig_budget_bytes = (
+            cfg.migration_bandwidth_fraction * topo.slowest.read_bandwidth * dt
+        )
+        ctx.migration_budget_pages = max(1, int(mig_budget_bytes // PAGE_SIZE))
+        ctx.failed_migrations.clear()
+
+        kernel: TieredBreakdownKernel | None = None
+        if not scalar_kernels_enabled():
+            kernel = TieredBreakdownKernel(
+                self.machine,
+                topo,
+                [(inst.task_id, inst.footprint) for inst in region.instances],
+            )
+
+        ticks = 0
+        while len(finish) < len(region.instances):
+            ticks += 1
+            if ticks > cfg.max_ticks_per_region:
+                raise RuntimeError(
+                    f"region {region.name!r} exceeded {cfg.max_ticks_per_region} ticks"
+                )
+            if ctx.gated:
+                for tid in sorted(ctx.gated):
+                    if all(dep in finish for dep in gates[tid]):
+                        ctx.gated.discard(tid)
+                        released[tid] = ctx.time
+            vectors = ctx.tier_fraction_vectors()
+            active = ctx.active_instances()
+            if not active and ctx.gated:
+                raise RuntimeError(
+                    f"region {region.name!r}: gated instances "
+                    f"{sorted(ctx.gated)} can never be released"
+                )
+
+            # phase 1: unconstrained progress and per-tier byte demand
+            dprog: dict[str, float] = {}
+            bds: dict[str, TieredBreakdown] = {}
+            demand = [0.0] * n
+            if kernel is not None:
+                bd_batch = kernel.breakdown_batch(
+                    [inst.task_id for inst in active], vectors
+                )
+                breakdowns = zip(active, bd_batch)
+            else:
+                breakdowns = (
+                    (
+                        inst,
+                        self.machine.breakdown_tiered(inst.footprint, topo, vectors),
+                    )
+                    for inst in active
+                )
+            for inst, bd in breakdowns:
+                bds[inst.task_id] = bd
+                ctx.instance_times[inst.task_id] = bd.total_s
+                d = dt / max(bd.total_s, 1e-12)
+                dprog[inst.task_id] = d
+                for k in range(n):
+                    demand[k] += d * bd.tier_bytes(k)
+
+            # phase 2: per-tier bandwidth contention.  The injected
+            # "pm bandwidth degraded" environment fault hits the slowest
+            # tier, like its 2-tier counterpart.
+            bw_factors = (
+                self.faults.tier_bandwidth_factors(ctx.time, n)
+                if self.faults is not None
+                else (1.0,) * n
+            )
+            scales = []
+            for k in range(n):
+                cap = topo.tiers[k].read_bandwidth * dt * bw_factors[k]
+                scales.append(min(1.0, cap / demand[k]) if demand[k] > 0 else 1.0)
+
+            tick_bytes = [0.0] * n
+            for inst in active:
+                bd = bds[inst.task_id]
+                total_bytes = sum(bd.tier_bytes(k) for k in range(n))
+                if total_bytes > 0:
+                    scale = sum(
+                        (bd.tier_bytes(k) / total_bytes) * scales[k]
+                        for k in range(n)
+                    )
+                else:
+                    scale = 1.0
+                step = dprog[inst.task_id] * scale
+                prev = ctx.progress[inst.task_id]
+                new = prev + step
+                if new >= 1.0:
+                    frac = (1.0 - prev) / max(step, 1e-15)
+                    finish[inst.task_id] = ctx.time + frac * dt
+                    new = 1.0
+                ctx.progress[inst.task_id] = new
+                done = new - prev
+                for k in range(n):
+                    tick_bytes[k] += done * bd.tier_bytes(k)
+
+            # capacity-pressure spike steals fastest-tier capacity: demote
+            # its coldest pages to the nearest tier with room
+            pressure = (
+                self.faults.tier_pressure_bytes(ctx.time, table.capacities_bytes)[0]
+                if self.faults is not None
+                else 0
+            )
+            if pressure > 0:
+                evict_batch = _plan_tiered_pressure_evictions(table, pressure)
+                if evict_batch is not None:
+                    evicted = table.apply_batch(evict_batch)
+                    if evicted:
+                        ctx.pages_migrated += evicted
+                        tick_bytes[0] += evicted * PAGE_SIZE
+                        tick_bytes[-1] += evicted * PAGE_SIZE
+                        if tel is not None:
+                            tel.inc(
+                                "merch_engine_pages_migrated_total",
+                                evicted, cause="pressure",
+                            )
+                            tel.inc(
+                                "merch_engine_bytes_migrated_total",
+                                evicted * PAGE_SIZE, cause="pressure",
+                            )
+
+            # phase 3: policy-driven migration, throttled and fault-checked
+            batch = policy.on_tick(ctx, dt)
+            mig_bytes = 0.0
+            if batch is not None and batch.n_pages > 0:
+                max_pages = max(1, int(mig_budget_bytes * bw_factors[-1] // PAGE_SIZE))
+                batch = _clamp_batch(batch, max_pages)
+                if self.faults is not None:
+                    batch, failed = self.faults.migration_outcome(batch, ctx.time)
+                    if failed is not None:
+                        ctx.failed_migrations.append(failed)
+                if batch is not None and batch.n_pages > 0:
+                    base = table.capacities_bytes
+                    table.capacities_bytes = (
+                        max(0, base[0] - pressure),
+                    ) + base[1:]
+                    try:
+                        moved = table.apply_batch(batch)
+                    finally:
+                        table.capacities_bytes = base
+                    ctx.pages_migrated += moved
+                    mig_bytes = moved * PAGE_SIZE
+                    overhead = moved * topo.page_migration_overhead_s
+                    ctx.migration_overhead_s += overhead
+                    if tel is not None and moved:
+                        tel.inc(
+                            "merch_engine_pages_migrated_total", moved, cause="policy"
+                        )
+                        tel.inc(
+                            "merch_engine_bytes_migrated_total",
+                            mig_bytes, cause="policy",
+                        )
+                        tel.inc(
+                            "merch_engine_migration_overhead_seconds_total", overhead
+                        )
+                        tel.tracer.add_complete(
+                            "migrate", ctx.time, overhead,
+                            track="virtual", pages=moved, cause="policy",
+                        )
+                    # copies read the source tier and write the destination;
+                    # charge the fast end and the slow aggregate like the
+                    # 2-tier loop does
+                    tick_bytes[0] += mig_bytes
+                    tick_bytes[-1] += mig_bytes
+
+            if cfg.record_bandwidth:
+                trace_t.append(ctx.time)
+                trace_d.append(tick_bytes[0] / dt)
+                trace_p.append(sum(tick_bytes[1:]) / dt)
+                trace_m.append(mig_bytes / dt)
+
+            if tel is not None:
+                tel.inc("merch_engine_ticks_total")
+                tel.set(
+                    "merch_engine_dram_occupancy_ratio",
+                    table.tier_used_bytes(0) / max(table.capacities_bytes[0], 1),
+                )
+
+            ctx.time += dt
+
+        end = max(finish.values())
+        ctx.time = end
+        if tel is not None:
+            first = min(finish.values())
+            tel.tracer.add_complete(
+                "barrier", first, end - first,
+                track="virtual", tasks=len(finish),
+            )
+        busy = {t: finish[t] - released.get(t, start) for t in finish}
+        wait = {t: end - finish[t] for t in finish}
+        return RegionResult(
+            name=region.name, start_s=start, end_s=end, busy_s=busy, wait_s=wait
+        )
+
+
+def _plan_tiered_pressure_evictions(
+    table: TieredPageTable, pressure_bytes: int
+) -> TieredMigrationBatch | None:
+    """Coldest fastest-tier pages out to the nearest tier with free pages.
+
+    Same deterministic victim order as the 2-tier planner: objects by
+    ``(tier-0 access fraction, name)``, pages coldest-first with stable
+    id tie-breaks.  Destinations fill slower tiers in order (1, 2, ...),
+    so demoted pages land as close to the fast tier as space allows.
+    """
+    if pressure_bytes <= 0:
+        return None
+    capacity_pages = max(0, (table.capacities_bytes[0] - pressure_bytes) // PAGE_SIZE)
+    used = int(table.tier_used_pages(0))
+    need = used - capacity_pages
+    if need <= 0:
+        return None
+    free = [table.tier_free_pages(k) for k in range(table.n_tiers)]
+    moves: list[tuple[str, np.ndarray, int]] = []
+    picked = 0
+    dst = 1
+    for obj in sorted(
+        table, key=lambda o: (float(o.tier_access_fractions()[0]), o.name)
+    ):
+        if picked >= need:
+            break
+        cold = obj.coldest_pages_in(0, limit=need - picked)
+        pos = 0
+        while pos < len(cold):
+            while dst < table.n_tiers and free[dst] <= 0:
+                dst += 1
+            if dst >= table.n_tiers:
+                break
+            take = cold[pos : pos + free[dst]]
+            moves.append((obj.name, take, dst))
+            free[dst] -= len(take)
+            picked += len(take)
+            pos += len(take)
+        if dst >= table.n_tiers:
+            break
+    return TieredMigrationBatch(moves=tuple(moves)) if moves else None
+
 
 def _plan_pressure_evictions(
     table: PageTable, pressure_bytes: int
@@ -926,10 +1256,13 @@ def _clamp_batch(batch: MigrationBatch, max_pages: int) -> MigrationBatch:
     """Limit a batch to ``max_pages`` promotions+demotions (keep order).
 
     A non-positive budget yields an empty batch, and moves with no pages are
-    dropped rather than carried along as zero-length entries.
+    dropped rather than carried along as zero-length entries.  The batch
+    class is preserved so :class:`TieredMigrationBatch` (same move-triple
+    shape, destination tier in the third slot) clamps identically.
     """
+    cls = type(batch)
     if max_pages <= 0:
-        return MigrationBatch(moves=())
+        return cls(moves=())
     if batch.n_pages <= max_pages:
         return batch
     moves: list[tuple[str, np.ndarray, bool]] = []
@@ -942,4 +1275,4 @@ def _clamp_batch(batch: MigrationBatch, max_pages: int) -> MigrationBatch:
             continue
         moves.append((name, take, promote))
         left -= len(take)
-    return MigrationBatch(moves=tuple(moves))
+    return cls(moves=tuple(moves))

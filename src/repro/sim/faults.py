@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -424,8 +424,11 @@ class FaultInjector:
                 applied_moves.append((name, idx[~lost], promote))
             if lost.any():
                 failed_moves.append((name, idx[lost], promote))
-        failed = MigrationBatch(moves=tuple(failed_moves)) if failed_moves else None
-        applied = MigrationBatch(moves=tuple(applied_moves)) if applied_moves else None
+        # type-preserving so N-tier TieredMigrationBatch flows through the
+        # same fault machinery (both carry (name, pages, tag) move triples)
+        cls = type(batch)
+        failed = cls(moves=tuple(failed_moves)) if failed_moves else None
+        applied = cls(moves=tuple(applied_moves)) if applied_moves else None
         self.log.record(
             "fault.migration_partial",
             now,
@@ -583,6 +586,28 @@ class FaultInjector:
             return stolen
         self._dram_pressure_bytes = 0
         return 0
+
+    # -- N-tier forms of the environment faults ------------------------
+    # The 2-tier fault model hard-codes *which* tier each fault hits:
+    # bandwidth degradation is a PM (slowest-tier) fault and capacity
+    # pressure is a DRAM (fastest-tier) fault.  The tier-vector wrappers
+    # keep that mapping -- and the exact same RNG draws -- on topologies
+    # with any number of tiers, so a 2-tier run through them is
+    # bit-identical to the scalar hooks above.
+    def tier_bandwidth_factors(self, now: float, n_tiers: int) -> tuple[float, ...]:
+        """Per-tier bandwidth multipliers, fastest first (1.0 = healthy)."""
+        if n_tiers < 2:
+            raise ValueError("a memory topology has at least 2 tiers")
+        return (1.0,) * (n_tiers - 1) + (self.pm_bandwidth_factor(now),)
+
+    def tier_pressure_bytes(
+        self, now: float, capacities_bytes: Sequence[int]
+    ) -> tuple[int, ...]:
+        """Externally stolen bytes per tier, fastest first."""
+        if len(capacities_bytes) < 2:
+            raise ValueError("a memory topology has at least 2 tiers")
+        stolen = self.dram_pressure_bytes(now, int(capacities_bytes[0]))
+        return (stolen,) + (0,) * (len(capacities_bytes) - 1)
 
     # ------------------------------------------------------------------
     # API faults

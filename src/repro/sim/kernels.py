@@ -31,11 +31,11 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.common import CACHE_LINE
-from repro.sim.machine import MachineModel, TimeBreakdown
-from repro.sim.memspec import HMConfig
+from repro.sim.machine import MachineModel, TieredBreakdown, TimeBreakdown
+from repro.sim.memspec import HMConfig, TopologySpec
 from repro.tasks.task import Footprint
 
-__all__ = ["BreakdownKernel"]
+__all__ = ["BreakdownKernel", "TieredBreakdownKernel"]
 
 #: Upper bound on pattern slots per footprint (one per AccessPattern).
 _MAX_SLOTS = 4
@@ -220,3 +220,155 @@ class BreakdownKernel:
             write_bytes += writes[:, s] * CACHE_LINE
         bandwidth = read_bytes / read_bw + write_bytes / write_bw
         return np.maximum(latency, bandwidth), read_bytes, write_bytes
+
+
+class TieredBreakdownKernel:
+    """N-tier twin of :class:`BreakdownKernel`.
+
+    Same hoisted access tensors, but latency constants and scatter targets
+    exist per tier, and placements are per-object *fraction vectors*
+    (fastest tier first) instead of scalar DRAM ratios.  Bit-identical to
+    scalar :meth:`MachineModel.breakdown_tiered` by the same argument as
+    the 2-tier kernel: ordered scatter-adds, first-appearance slot
+    reduction, scalar per-instance q-norm.
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        topo: TopologySpec,
+        footprints: Sequence[tuple[str, Footprint]],
+    ) -> None:
+        spec = machine.spec
+        self._topo = topo
+        n_tiers = topo.n_tiers
+        self._rows: dict[str, int] = {}
+        self._obj_cols: dict[str, int] = {}
+        n_inst = len(footprints)
+
+        inst_idx: list[int] = []
+        slot_idx: list[int] = []
+        obj_idx: list[int] = []
+        reads: list[float] = []
+        writes: list[float] = []
+        lat = [np.zeros((n_inst, _MAX_SLOTS)) for _ in range(n_tiers)]
+        mlp = np.ones((n_inst, _MAX_SLOTS))
+        cpu = np.zeros(n_inst)
+        beta = np.zeros(n_inst)
+
+        for i, (task_id, fp) in enumerate(footprints):
+            if task_id in self._rows:
+                raise ValueError(f"duplicate task id {task_id!r}")
+            self._rows[task_id] = i
+            slots: dict = {}
+            for a in fp.accesses:
+                s = slots.setdefault(a.pattern, len(slots))
+                inst_idx.append(i)
+                slot_idx.append(s)
+                obj_idx.append(self._obj_cols.setdefault(a.obj, len(self._obj_cols)))
+                reads.append(float(a.reads))
+                writes.append(float(a.writes))
+            for pattern, s in slots.items():
+                random = pattern.value == "random"
+                for k, tier in enumerate(topo.tiers):
+                    lat[k][i, s] = tier.latency_ns(random=random)
+                mlp[i, s] = spec.mlp[pattern]
+            cpu[i] = machine.cpu_time(fp)
+            mix = fp.pattern_mix()
+            beta[i] = (
+                sum(spec.overlap[p] * w for p, w in mix.items()) if mix else 0.0
+            )
+
+        self._inst_idx = np.asarray(inst_idx, dtype=np.intp)
+        self._slot_idx = np.asarray(slot_idx, dtype=np.intp)
+        self._obj_idx = np.asarray(obj_idx, dtype=np.intp)
+        self._reads = np.asarray(reads, dtype=np.float64)
+        self._writes = np.asarray(writes, dtype=np.float64)
+        self._lat = lat
+        self._mlp = mlp
+        self._cpu = cpu
+        self._beta = beta
+        self._q = spec.tier_overlap_q
+        self._rbw = tuple(t.read_bandwidth for t in topo.tiers)
+        self._wbw = tuple(t.write_bandwidth for t in topo.tiers)
+        self._n_inst = n_inst
+        self._n_tiers = n_tiers
+
+    @property
+    def task_ids(self) -> tuple[str, ...]:
+        return tuple(self._rows)
+
+    def _object_fractions(
+        self, tier_fractions: Mapping[str, Sequence[float]]
+    ) -> np.ndarray:
+        """(n_obj, n_tiers) clipped fraction matrix in column order.
+
+        Missing objects default to all-in-slowest, matching the scalar
+        ``breakdown_tiered``.
+        """
+        n = self._n_tiers
+        default = (0.0,) * (n - 1) + (1.0,)
+        mat = np.empty((len(self._obj_cols), n), dtype=np.float64)
+        for row, name in enumerate(self._obj_cols):
+            f = tier_fractions.get(name, default)
+            if len(f) != n:
+                raise ValueError(
+                    f"object {name!r}: fraction vector has {len(f)} entries "
+                    f"for a {n}-tier topology"
+                )
+            mat[row, :] = f
+        return np.clip(mat, 0.0, 1.0)
+
+    def breakdown_batch(
+        self,
+        task_ids: Sequence[str],
+        tier_fractions: Mapping[str, Sequence[float]],
+    ) -> list[TieredBreakdown]:
+        """Tiered breakdowns for ``task_ids``, bit-identical to calling the
+        scalar ``machine.breakdown_tiered`` per instance."""
+        f_obj = self._object_fractions(tier_fractions)
+        shape = (self._n_inst, _MAX_SLOTS)
+        at = (self._inst_idx, self._slot_idx)
+
+        tier_t = []
+        tier_rb = []
+        tier_wb = []
+        for k in range(self._n_tiers):
+            fk = f_obj[self._obj_idx, k]
+            rk = np.zeros(shape)
+            wk = np.zeros(shape)
+            # element order == footprint access order, like the scalar loop
+            np.add.at(rk, at, self._reads * fk)
+            np.add.at(wk, at, self._writes * fk)
+            t, rb, wb = self._tier_time_batch(rk, wk, self._lat[k], self._rbw[k], self._wbw[k])
+            tier_t.append(t)
+            tier_rb.append(rb)
+            tier_wb.append(wb)
+
+        # scalar per-instance q-norm: the generator sum in breakdown_tiered
+        # reduces tiers sequentially starting at 0, mirrored exactly here
+        q = self._q
+        t_mem = np.empty(self._n_inst)
+        for i in range(self._n_inst):
+            ts = [float(t[i]) for t in tier_t]
+            t_mem[i] = sum(t**q for t in ts) ** (1.0 / q) if any(ts) else 0.0
+        total = np.maximum(self._cpu, t_mem) + (1.0 - self._beta) * np.minimum(
+            self._cpu, t_mem
+        )
+
+        out = []
+        for tid in task_ids:
+            i = self._rows[tid]
+            out.append(
+                TieredBreakdown(
+                    total_s=float(total[i]),
+                    cpu_s=float(self._cpu[i]),
+                    mem_s=float(t_mem[i]),
+                    tier_s=tuple(float(t[i]) for t in tier_t),
+                    tier_read_bytes=tuple(float(b[i]) for b in tier_rb),
+                    tier_write_bytes=tuple(float(b[i]) for b in tier_wb),
+                )
+            )
+        return out
+
+    _tier_time_batch = BreakdownKernel._tier_time_batch

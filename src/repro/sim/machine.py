@@ -23,11 +23,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from typing import Sequence
+
 from repro.common import CACHE_LINE, AccessPattern
-from repro.sim.memspec import HMConfig, TierSpec
+from repro.sim.memspec import HMConfig, TierSpec, TopologySpec
 from repro.tasks.task import Footprint
 
-__all__ = ["MachineSpec", "TimeBreakdown", "MachineModel"]
+__all__ = ["MachineSpec", "TimeBreakdown", "TieredBreakdown", "MachineModel"]
 
 
 @dataclass(frozen=True)
@@ -95,6 +97,26 @@ class TimeBreakdown:
     @property
     def pm_bytes(self) -> float:
         return self.pm_read_bytes + self.pm_write_bytes
+
+
+@dataclass(frozen=True)
+class TieredBreakdown:
+    """Where an instance's time goes on an N-tier topology.
+
+    Per-tier tuples are ordered like the topology (fastest first).  On a
+    2-tier topology every field matches :class:`TimeBreakdown` bit-exactly
+    when the fraction vectors are ``(r, 1 - r)``.
+    """
+
+    total_s: float
+    cpu_s: float
+    mem_s: float
+    tier_s: tuple[float, ...]
+    tier_read_bytes: tuple[float, ...]
+    tier_write_bytes: tuple[float, ...]
+
+    def tier_bytes(self, k: int) -> float:
+        return self.tier_read_bytes[k] + self.tier_write_bytes[k]
 
 
 class MachineModel:
@@ -202,6 +224,96 @@ class MachineModel:
             pm_read_bytes=p_rb,
             pm_write_bytes=p_wb,
         )
+
+    # ------------------------------------------------------------------
+    def breakdown_tiered(
+        self,
+        footprint: Footprint,
+        topo: TopologySpec,
+        tier_fractions: Mapping[str, Sequence[float]],
+        bandwidth_derates: Sequence[float] | None = None,
+    ) -> TieredBreakdown:
+        """N-tier generalisation of :meth:`breakdown`.
+
+        ``tier_fractions[obj]`` is the object's access-fraction vector
+        across the topology's tiers, fastest first (missing objects default
+        to all-in-slowest).  ``bandwidth_derates`` optionally derates each
+        tier's bandwidth independently (contention).  The arithmetic
+        mirrors :meth:`breakdown` operation-for-operation so the 2-tier
+        case with vectors ``(r, 1 - r)`` is bit-identical.
+        """
+        n = topo.n_tiers
+        if bandwidth_derates is not None:
+            if len(bandwidth_derates) != n:
+                raise ValueError("one bandwidth derate per tier required")
+            for d in bandwidth_derates:
+                if not 0.0 < d <= 1.0:
+                    raise ValueError("bandwidth derates must be in (0, 1]")
+        default = (0.0,) * (n - 1) + (1.0,)
+        accs: list[dict[AccessPattern, tuple[float, float]]] = [{} for _ in range(n)]
+        for a in footprint.accesses:
+            f = tier_fractions.get(a.obj, default)
+            if len(f) != n:
+                raise ValueError(
+                    f"object {a.obj!r}: fraction vector has {len(f)} entries "
+                    f"for a {n}-tier topology"
+                )
+            for k in range(n):
+                fk = min(1.0, max(0.0, float(f[k])))
+                r, w = accs[k].get(a.pattern, (0.0, 0.0))
+                accs[k][a.pattern] = (r + a.reads * fk, w + a.writes * fk)
+
+        def derated(tier: TierSpec, d: float) -> TierSpec:
+            if d >= 1.0:
+                return tier
+            return TierSpec(
+                name=tier.name,
+                capacity_bytes=tier.capacity_bytes,
+                seq_read_latency_ns=tier.seq_read_latency_ns,
+                rand_read_latency_ns=tier.rand_read_latency_ns,
+                read_bandwidth=tier.read_bandwidth * d,
+                write_bandwidth=tier.write_bandwidth * d,
+            )
+
+        times: list[float] = []
+        read_b: list[float] = []
+        write_b: list[float] = []
+        for k, tier in enumerate(topo.tiers):
+            d = 1.0 if bandwidth_derates is None else float(bandwidth_derates[k])
+            t, rb, wb = self._tier_time(derated(tier, d), accs[k])
+            times.append(t)
+            read_b.append(rb)
+            write_b.append(wb)
+        q = self.spec.tier_overlap_q
+        t_mem = sum(t**q for t in times) ** (1.0 / q) if any(times) else 0.0
+
+        t_cpu = self.cpu_time(footprint)
+        mix = footprint.pattern_mix()
+        beta = sum(self.spec.overlap[p] * w for p, w in mix.items()) if mix else 0.0
+        total = max(t_cpu, t_mem) + (1.0 - beta) * min(t_cpu, t_mem)
+        return TieredBreakdown(
+            total_s=total,
+            cpu_s=t_cpu,
+            mem_s=t_mem,
+            tier_s=tuple(times),
+            tier_read_bytes=tuple(read_b),
+            tier_write_bytes=tuple(write_b),
+        )
+
+    def tier_endpoint_times(
+        self, footprint: Footprint, topo: TopologySpec
+    ) -> tuple[float, ...]:
+        """Homogeneous execution time with *all* accesses served by each
+        tier in turn (fastest first) -- the N-tier endpoints that bracket
+        the effective-ratio prediction."""
+        objs = footprint.objects
+        out = []
+        for k in range(topo.n_tiers):
+            vec = tuple(1.0 if i == k else 0.0 for i in range(topo.n_tiers))
+            out.append(
+                self.breakdown_tiered(footprint, topo, {o: vec for o in objs}).total_s
+            )
+        return tuple(out)
 
     # ------------------------------------------------------------------
     def instance_time(

@@ -23,7 +23,14 @@ import numpy as np
 from repro.common import PAGE_SIZE, make_rng, zipf_weights
 from repro.tasks.task import DataObject
 
-__all__ = ["PagedObject", "PageTable", "MigrationBatch"]
+__all__ = [
+    "PagedObject",
+    "PageTable",
+    "MigrationBatch",
+    "TieredPagedObject",
+    "TieredPageTable",
+    "TieredMigrationBatch",
+]
 
 
 class PagedObject:
@@ -310,6 +317,293 @@ class PageTable:
         tasks, only addresses.  Returns per-object arrays of sampled page
         indices (with multiplicity).
         """
+        rng = make_rng(rng)
+        names = self.names
+        sizes = np.array([self.object(nm).n_pages for nm in names])
+        total = sizes.sum()
+        if total == 0 or n <= 0:
+            return []
+        picks = rng.integers(0, total, size=n)
+        bounds = np.cumsum(sizes)
+        which = np.searchsorted(bounds, picks, side="right")
+        out: list[tuple[str, np.ndarray]] = []
+        for i, nm in enumerate(names):
+            mask = which == i
+            if mask.any():
+                start = bounds[i] - sizes[i]
+                out.append((nm, picks[mask] - start))
+        return out
+
+# ----------------------------------------------------------------------
+# N-tier residency (TopologySpec-backed)
+# ----------------------------------------------------------------------
+
+class TieredPagedObject:
+    """Pages of one data object across N tiers.
+
+    ``tier_residency`` is an ``(n_tiers, n_pages)`` matrix whose columns
+    sum to 1: column ``p`` says what fraction of page ``p`` lives on each
+    tier (fastest first).  Software placement keeps pages fully in one
+    tier (a single 1 per column); the fractional form exists for the same
+    reason :class:`PagedObject`'s residency does -- hardware-cache-style
+    policies account partial hits through the same vectors.
+    """
+
+    __slots__ = ("spec", "n_pages", "n_tiers", "weight", "tier_residency")
+
+    def __init__(self, spec: DataObject, n_tiers: int, rng=None) -> None:
+        if n_tiers < 2:
+            raise ValueError("need at least two tiers")
+        self.spec = spec
+        self.n_pages = spec.n_pages
+        self.n_tiers = n_tiers
+        if spec.hotness == "zipf":
+            lines = zipf_weights(
+                self.n_pages * PagedObject.LINES_PER_PAGE,
+                spec.zipf_s,
+                rng=make_rng(rng),
+            )
+            self.weight = lines.reshape(
+                self.n_pages, PagedObject.LINES_PER_PAGE
+            ).sum(axis=1)
+            self.weight /= self.weight.sum()
+        else:
+            self.weight = np.full(self.n_pages, 1.0 / self.n_pages)
+        self.tier_residency = np.zeros((n_tiers, self.n_pages), dtype=np.float64)
+        self.tier_residency[-1, :] = 1.0  # born in the slowest tier
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def owner(self) -> str | None:
+        return self.spec.owner
+
+    def tier_pages(self, k: int) -> float:
+        """Equivalent number of this object's pages resident on tier ``k``."""
+        return float(self.tier_residency[k].sum())
+
+    def tier_access_fractions(self) -> np.ndarray:
+        """Access-weighted per-tier fraction vector (sums to 1)."""
+        return self.tier_residency @ self.weight
+
+    def hottest_pages_slower_than(
+        self, k: int, limit: int | None = None
+    ) -> np.ndarray:
+        """Pages with residency on a tier slower than ``k``, hottest first
+        (ties broken by page id via stable sort)."""
+        slower = self.tier_residency[k + 1 :].sum(axis=0)
+        candidates = np.flatnonzero(slower > 1e-12)
+        order = np.argsort(-self.weight[candidates], kind="stable")
+        idx = candidates[order]
+        return idx if limit is None else idx[:limit]
+
+    def coldest_pages_in(self, k: int, limit: int | None = None) -> np.ndarray:
+        """Pages with residency on tier ``k``, coldest first."""
+        candidates = np.flatnonzero(self.tier_residency[k] > 1e-12)
+        order = np.argsort(self.weight[candidates], kind="stable")
+        idx = candidates[order]
+        return idx if limit is None else idx[:limit]
+
+
+@dataclass(frozen=True)
+class TieredMigrationBatch:
+    """Page moves across an N-tier topology for one tick."""
+
+    #: (object name, page indices, destination tier index) triples
+    moves: tuple[tuple[str, np.ndarray, int], ...]
+
+    @property
+    def n_pages(self) -> int:
+        return int(sum(len(idx) for _, idx, _ in self.moves))
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.n_pages * PAGE_SIZE
+
+
+class TieredPageTable:
+    """All paged objects of a workload plus per-tier capacity accounting.
+
+    Mirrors :class:`PageTable`'s struct-of-arrays layout: one weight arena
+    and one ``(n_tiers, lanes)`` residency arena cover every object, with
+    each object's vectors as views.  *Every* tier is capacity-checked --
+    including the slowest, which the 2-tier table treats as an unbounded
+    backing store -- so the conformance harness's over-commit invariant is
+    enforceable uniformly.
+    """
+
+    _ARENA_ALIGN = PageTable._ARENA_ALIGN
+
+    def __init__(
+        self,
+        objects: Iterable[DataObject],
+        capacities_bytes: Sequence[int],
+        rng=None,
+    ) -> None:
+        caps = tuple(int(c) for c in capacities_bytes)
+        if len(caps) < 2:
+            raise ValueError("need capacities for at least two tiers")
+        if any(c < 0 for c in caps):
+            raise ValueError("tier capacities must be non-negative")
+        self.capacities_bytes = caps
+        self.n_tiers = len(caps)
+        rng = make_rng(rng)
+        self._objects: dict[str, TieredPagedObject] = {}
+        for spec in objects:
+            if spec.name in self._objects:
+                raise ValueError(f"duplicate object {spec.name!r}")
+            self._objects[spec.name] = TieredPagedObject(
+                spec, self.n_tiers, rng=rng
+            )
+        if self.total_pages > sum(self.tier_capacity_pages):
+            raise ValueError("workload does not fit in the topology")
+        self._build_arena()
+        self.place_waterfall()
+
+    # -- arena ---------------------------------------------------------
+    def _build_arena(self) -> None:
+        objs = list(self._objects.values())
+        starts: list[int] = []
+        pos = 0
+        align = self._ARENA_ALIGN
+        for o in objs:
+            starts.append(pos)
+            pos += -(-o.n_pages // align) * align
+        self._weight_arena = np.zeros(pos, dtype=np.float64)
+        self._residency_arena = np.zeros((self.n_tiers, pos), dtype=np.float64)
+        self._slices: dict[str, slice] = {}
+        for o, start in zip(objs, starts):
+            sl = slice(start, start + o.n_pages)
+            self._slices[o.name] = sl
+            self._weight_arena[sl] = o.weight
+            self._residency_arena[:, sl] = o.tier_residency
+            o.weight = self._weight_arena[sl]
+            o.tier_residency = self._residency_arena[:, sl]
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_weight_arena", None)
+        state.pop("_residency_arena", None)
+        state.pop("_slices", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._build_arena()
+
+    @property
+    def weight_arena(self) -> np.ndarray:
+        return self._weight_arena
+
+    @property
+    def residency_arena(self) -> np.ndarray:
+        """The shared ``(n_tiers, lanes)`` residency arena."""
+        return self._residency_arena
+
+    def object_slice(self, name: str) -> slice:
+        return self._slices[name]
+
+    # -- mapping -------------------------------------------------------
+    def __iter__(self) -> Iterator[TieredPagedObject]:
+        return iter(self._objects.values())
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._objects
+
+    def object(self, name: str) -> TieredPagedObject:
+        return self._objects[name]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._objects)
+
+    @property
+    def total_pages(self) -> int:
+        return sum(o.n_pages for o in self._objects.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(o.spec.size_bytes for o in self._objects.values())
+
+    # -- capacity ------------------------------------------------------
+    @property
+    def tier_capacity_pages(self) -> tuple[int, ...]:
+        return tuple(c // PAGE_SIZE for c in self.capacities_bytes)
+
+    def tier_used_pages(self, k: int) -> float:
+        return float(self._residency_arena[k].sum())
+
+    def tier_used_bytes(self, k: int) -> float:
+        return self.tier_used_pages(k) * PAGE_SIZE
+
+    def tier_free_pages(self, k: int) -> int:
+        return int(self.tier_capacity_pages[k] - self.tier_used_pages(k))
+
+    def used_pages_vector(self) -> tuple[float, ...]:
+        return tuple(self.tier_used_pages(k) for k in range(self.n_tiers))
+
+    # -- placement -----------------------------------------------------
+    def place_waterfall(self) -> None:
+        """Deterministic initial placement: fill the slowest tier first,
+        overflowing page-by-page into faster tiers (object insertion
+        order, ascending page ids) -- what first-touch in far memory
+        leaves you with, and the state every policy starts from."""
+        free = list(self.tier_capacity_pages)
+        for obj in self:
+            obj.tier_residency[:, :] = 0.0
+            placed = 0
+            for k in range(self.n_tiers - 1, -1, -1):
+                take = min(obj.n_pages - placed, free[k])
+                if take <= 0:
+                    continue
+                obj.tier_residency[k, placed : placed + take] = 1.0
+                free[k] -= take
+                placed += take
+                if placed == obj.n_pages:
+                    break
+
+    def apply_batch(self, batch: TieredMigrationBatch) -> int:
+        """Apply a migration batch, clamping every move to the destination
+        tier's free pages.
+
+        Moves toward slower tiers are applied first (mirroring the 2-tier
+        table's demotions-first rule) so swap traffic never transiently
+        over-commits a fast tier.  Returns pages actually moved.
+        """
+        moved = 0
+        order = sorted(
+            range(len(batch.moves)),
+            key=lambda i: -batch.moves[i][2],
+        )
+        for i in order:
+            name, idx, dst = batch.moves[i]
+            if not 0 <= dst < self.n_tiers:
+                raise ValueError(f"destination tier {dst} out of range")
+            obj = self.object(name)
+            sel = idx[obj.tier_residency[dst, idx] < 1.0 - 1e-12]
+            free = self.tier_free_pages(dst)
+            if free <= 0:
+                continue
+            sel = sel[:free]
+            obj.tier_residency[:, sel] = 0.0
+            obj.tier_residency[dst, sel] = 1.0
+            moved += len(sel)
+        return moved
+
+    # -- queries -------------------------------------------------------
+    def access_fraction_vectors(self) -> dict[str, np.ndarray]:
+        """Per-object per-tier access-weighted fraction vectors."""
+        return {o.name: o.tier_access_fractions() for o in self}
+
+    def sample_pages(
+        self, n: int, rng=None
+    ) -> list[tuple[str, np.ndarray]]:
+        """Uniform page sampling across the space (see PageTable)."""
         rng = make_rng(rng)
         names = self.names
         sizes = np.array([self.object(nm).n_pages for nm in names])

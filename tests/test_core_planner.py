@@ -66,6 +66,23 @@ class TestGreedy:
         times = [q.predicted_time_s for q in plan.quotas]
         assert max(times) < 50.0
 
+    def test_clamp_ceil_bounce_regression(self):
+        """Found by tests/test_topology_properties.py (seed 51884): the
+        overshoot clamp floors the shrunk ratio to the step grid, and
+        re-ceiling the pages can land exactly one page back over
+        capacity (ceil(15360 * 0.30000000000000004) == 4609 > 4608).
+        The clamp must keep shrinking until the plan actually fits."""
+        cap_pages = 4608
+        plan = greedy_plan(
+            [task("a", 10.0, 1.0)],
+            MODEL,
+            cap_pages * PAGE_SIZE,
+            {"a": 15360 * PAGE_SIZE},
+            step=0.1,
+        )
+        assert plan.dram_pages_used <= cap_pages
+        assert plan.quota("a").dram_pages <= cap_pages
+
     def test_zero_capacity_all_pm(self):
         tasks = [task("a", 10.0), task("b", 20.0)]
         plan = greedy_plan(tasks, MODEL, 0, {"a": MB, "b": MB})

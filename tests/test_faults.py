@@ -359,3 +359,44 @@ class TestClusterFaults:
         assert scaled.partition_rate == pytest.approx(0.2)
         assert scaled.replication_truncate_rate == pytest.approx(0.4)
         assert scaled.lease_renewal_drop_rate == pytest.approx(0.5)
+
+
+class TestTierEnvironmentFaults:
+    """The N-tier wrappers keep the 2-tier fault model's tier mapping."""
+
+    def test_bandwidth_degradation_hits_slowest_tier_only(self):
+        inj = injector(pm_bw_degradation_rate=1.0)
+        factors = inj.tier_bandwidth_factors(0.0, 4)
+        assert factors[:3] == (1.0, 1.0, 1.0)
+        assert factors[3] == inj.config.pm_bw_degradation_factor
+
+    def test_bandwidth_factors_match_scalar_on_two_tiers(self):
+        a = injector(pm_bw_degradation_rate=0.3)
+        b = injector(pm_bw_degradation_rate=0.3)
+        for t in np.linspace(0.0, 5.0, 40):
+            assert a.tier_bandwidth_factors(t, 2) == (
+                1.0,
+                b.pm_bandwidth_factor(t),
+            )
+
+    def test_pressure_hits_fastest_tier_only(self):
+        inj = injector(dram_pressure_rate=1.0)
+        stolen = inj.tier_pressure_bytes(0.0, (1 << 30, 1 << 32, 1 << 34))
+        assert stolen[1:] == (0, 0)
+        assert stolen[0] > 0 and stolen[0] % PAGE_SIZE == 0
+
+    def test_pressure_matches_scalar_on_two_tiers(self):
+        a = injector(dram_pressure_rate=0.5)
+        b = injector(dram_pressure_rate=0.5)
+        for t in np.linspace(0.0, 5.0, 40):
+            assert a.tier_pressure_bytes(t, (1 << 30, 1 << 33)) == (
+                b.dram_pressure_bytes(t, 1 << 30),
+                0,
+            )
+
+    def test_single_tier_rejected(self):
+        inj = injector()
+        with pytest.raises(ValueError):
+            inj.tier_bandwidth_factors(0.0, 1)
+        with pytest.raises(ValueError):
+            inj.tier_pressure_bytes(0.0, (1 << 30,))

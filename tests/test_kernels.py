@@ -388,3 +388,80 @@ def test_engine_run_bit_identical_under_faults(system, monkeypatch):
     monkeypatch.setenv("MERCH_SCALAR_KERNELS", "0")
     vec = _engine_run_fingerprint(system, seed=2, faults=make_faults())
     assert ref == vec
+
+
+# ---------------------------------------------------------------------------
+# sim: N-tier breakdown kernel and tiered engine runs
+# ---------------------------------------------------------------------------
+
+def _tiered_bd_fingerprint(bd) -> tuple:
+    return (
+        _bits(bd.total_s), _bits(bd.cpu_s), _bits(bd.mem_s),
+        tuple(_bits(t) for t in bd.tier_s),
+        tuple(_bits(b) for b in bd.tier_read_bytes),
+        tuple(_bits(b) for b in bd.tier_write_bytes),
+    )
+
+
+@pytest.mark.parametrize("preset", ["dram_pm", "hbm_dram_pm", "hbm_dram_cxl_pm"])
+def test_tiered_breakdown_kernel_bit_identical(preset):
+    from repro.sim.kernels import TieredBreakdownKernel
+    from repro.sim.memspec import topology_preset
+
+    machine, topo = MachineModel(), topology_preset(preset)
+    fps = [
+        (f"t{i}", s.footprint(1.0))
+        for i, s in enumerate(generate_corpus(8, seed=5))
+    ]
+    kernel = TieredBreakdownKernel(machine, topo, fps)
+    rng = make_rng(7)
+    objs = sorted({o for _, fp in fps for o in fp.objects})
+    n = topo.n_tiers
+    for _ in range(6):
+        fractions = {}
+        for o in objs:
+            raw = rng.uniform(0.0, 1.0, n)
+            raw = raw / raw.sum()
+            fractions[o] = tuple(float(x) for x in raw)
+        batch = kernel.breakdown_batch([tid for tid, _ in fps], fractions)
+        for (tid, fp), bd in zip(fps, batch):
+            ref = machine.breakdown_tiered(fp, topo, fractions)
+            assert _tiered_bd_fingerprint(ref) == _tiered_bd_fingerprint(bd), tid
+
+
+def _tiered_engine_fingerprint(system, preset: str, policy_name: str) -> tuple:
+    from repro.core.model import PerformanceModel
+    from repro.policies import PolicyBuildContext, build_policy
+    from repro.sim.memspec import topology_preset
+
+    topo = topology_preset(preset)
+    app = SpGEMMApp.paper_scale(seed=0)
+    wl = app.build_workload(seed=0)
+    ctx = PolicyBuildContext(
+        machine=system.machine,
+        topology=topo,
+        model=PerformanceModel(system.correlation),
+        seed=1,
+    )
+    res = Engine(system.machine, topology=topo).run(
+        wl, build_policy(policy_name, ctx), seed=1
+    )
+    return (
+        _bits(res.total_time_s),
+        res.pages_migrated,
+        res.trace_time.tobytes(),
+        res.trace_dram_bw.tobytes(),
+        res.trace_pm_bw.tobytes(),
+        res.trace_migration_bw.tobytes(),
+    )
+
+
+@pytest.mark.parametrize("preset", ["hbm_dram_pm", "hbm_dram_cxl_pm"])
+@pytest.mark.parametrize("policy_name", ["merchandiser", "interval"])
+def test_tiered_engine_run_bit_identical(system, monkeypatch, preset, policy_name):
+    """The tiered tick loop must not care which kernel path computes it."""
+    monkeypatch.setenv("MERCH_SCALAR_KERNELS", "1")
+    ref = _tiered_engine_fingerprint(system, preset, policy_name)
+    monkeypatch.setenv("MERCH_SCALAR_KERNELS", "0")
+    vec = _tiered_engine_fingerprint(system, preset, policy_name)
+    assert ref == vec

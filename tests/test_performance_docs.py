@@ -15,11 +15,16 @@ from pathlib import Path
 import pytest
 
 from repro.ml.kernels import KERNEL_ENTRY_POINTS
+from repro.sim.memspec import TOPOLOGY_PRESETS
 
 DOC = Path(__file__).resolve().parent.parent / "PERFORMANCE.md"
 
 #: a kernel reference row: | `repro.x.y` | ... |
 ROW = re.compile(r"^\|\s*`(repro\.[A-Za-z0-9_.]+)`\s*\|")
+
+#: a topology-preset row: | `name` | ... -> ... | n | (no dots, so the
+#: kernel rows above can never match it and vice versa)
+PRESET_ROW = re.compile(r"^\|\s*`([a-z][a-z0-9_]*)`\s*\|[^|]*(?:→|->)")
 
 
 def _doc_rows() -> set[str]:
@@ -75,6 +80,39 @@ def test_escape_hatch_is_documented():
     # the doc must state both the differential-testing purpose and the
     # bit-identity guarantee the tests enforce
     assert "bit-identical" in text or "bit identical" in text
+
+
+def _preset_rows() -> set[str]:
+    rows: set[str] = set()
+    for line in DOC.read_text().splitlines():
+        m = PRESET_ROW.match(line)
+        if m:
+            rows.add(m.group(1))
+    return rows
+
+
+def test_every_topology_preset_is_documented():
+    missing = set(TOPOLOGY_PRESETS) - _preset_rows()
+    assert not missing, f"presets missing from PERFORMANCE.md: {sorted(missing)}"
+
+
+def test_every_documented_preset_is_registered():
+    stale = _preset_rows() - set(TOPOLOGY_PRESETS)
+    assert not stale, f"PERFORMANCE.md documents unknown presets: {sorted(stale)}"
+
+
+def test_preset_rows_state_the_right_tier_stack():
+    """The documented stack must match the preset's actual tier order."""
+    text = DOC.read_text()
+    for name, tier_names in TOPOLOGY_PRESETS.items():
+        stack = " → ".join(tier_names)
+        row = next(
+            line
+            for line in text.splitlines()
+            if PRESET_ROW.match(line) and PRESET_ROW.match(line).group(1) == name
+        )
+        assert stack in row, f"{name}: doc row does not show {stack!r}"
+        assert f"| {len(tier_names)} |" in row
 
 
 def test_speedup_table_matches_committed_results():
